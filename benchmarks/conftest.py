@@ -1,0 +1,36 @@
+"""Benchmark harness plumbing.
+
+Each benchmark regenerates one figure of the paper, prints the series as a
+text table, and persists it under ``benchmarks/results/`` so the output
+survives pytest's capture.  Wall-clock time measured by pytest-benchmark
+is the cost of the simulation itself, not a claim about the paper.
+"""
+
+import os
+import sys
+
+import pytest
+
+_RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+# make the in-tree package importable exactly like the root conftest does
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@pytest.fixture
+def record_figure():
+    """Returns a callback that prints and persists a FigureResult."""
+
+    def _record(figure):
+        table = figure.format_table()
+        print()
+        print(table)
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        path = os.path.join(_RESULTS_DIR, f"{figure.figure_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(table + "\n")
+        return figure
+
+    return _record

@@ -1,0 +1,66 @@
+"""Extension: PoE (Proof-of-Execution) vs PBFT and Zyzzyva.
+
+The paper's §2.1 positions the authors' follow-up protocol: "PoE tries to
+eliminate the limitations of Zyzzyva by providing a two-phase, speculative
+consensus protocol but requires one phase of quadratic communication."
+
+This bench verifies that positioning on the ResilientDB pipeline:
+Zyzzyva-class throughput when healthy, PBFT-class robustness when a
+backup crashes (no 3f+1 fast-path fragility).
+"""
+
+from repro.bench.report import FigureResult, Series, SeriesPoint
+from repro.bench.runner import base_config, run_config
+from repro.sim.clock import millis, seconds
+
+
+def _run_protocols(crash_backups: int):
+    results = {}
+    for protocol in ("pbft", "poe", "zyzzyva"):
+        config = base_config(protocol=protocol)
+        if protocol == "zyzzyva" and crash_backups:
+            config = config.with_options(
+                zyzzyva_client_timeout=seconds(2),
+                warmup=millis(200),
+                measure=seconds(2.4),
+            )
+        results[protocol] = run_config(config, crash_backups=crash_backups)
+    return results
+
+
+def ext_poe_comparison() -> FigureResult:
+    figure = FigureResult(
+        "ext-poe", "PoE vs PBFT vs Zyzzyva, healthy and under one crash",
+        "failures",
+    )
+    for protocol in ("pbft", "poe", "zyzzyva"):
+        figure.series.append(Series(protocol.upper()))
+    for crashes in (0, 1):
+        results = _run_protocols(crashes)
+        for protocol, result in results.items():
+            figure.get(protocol.upper()).points.append(
+                SeriesPoint(
+                    x=crashes,
+                    throughput_txns_per_s=result.throughput_txns_per_s,
+                    latency_s=result.latency_mean_s,
+                )
+            )
+    return figure
+
+
+def test_ext_poe(benchmark, record_figure):
+    figure = benchmark.pedantic(ext_poe_comparison, rounds=1, iterations=1)
+    record_figure(figure)
+    poe = dict(zip(figure.get("POE").xs(), figure.get("POE").throughputs()))
+    pbft = dict(zip(figure.get("PBFT").xs(), figure.get("PBFT").throughputs()))
+    zyzzyva = dict(
+        zip(figure.get("ZYZZYVA").xs(), figure.get("ZYZZYVA").throughputs())
+    )
+    # healthy: PoE keeps pace with both
+    assert poe[0] > 0.9 * max(pbft[0], zyzzyva[0])
+    # one crash: PoE stays PBFT-robust while Zyzzyva collapses
+    assert poe[1] > 0.85 * poe[0]
+    assert zyzzyva[1] < zyzzyva[0] / 10
+    figure.note(
+        "PoE keeps Zyzzyva-class speed with PBFT-class failure robustness"
+    )

@@ -1,0 +1,23 @@
+"""Figure 7: upper-bound throughput/latency with no consensus.
+
+Paper claims: the primary answering clients directly (two independent
+threads, no ordering, no communication between replicas) reaches up to
+~500K txns/s at ≤0.25 s latency; skipping execution is slightly faster
+than executing.
+"""
+
+from repro.bench import fig07_upper_bound
+
+
+def test_fig07_upper_bound(benchmark, record_figure):
+    figure = benchmark.pedantic(fig07_upper_bound, rounds=1, iterations=1)
+    record_figure(figure)
+    no_execution = figure.get("No Execution")
+    execution = figure.get("Execution")
+    # shape: skipping execution never hurts
+    for skip, run in zip(no_execution.throughputs(), execution.throughputs()):
+        assert skip >= 0.95 * run
+    # scale: hundreds of thousands of txns/s (paper: up to ~500K)
+    assert max(no_execution.throughputs()) > 300_000
+    # latency stays sub-second at every load (paper: up to 0.25 s)
+    assert max(no_execution.latencies() + execution.latencies()) < 1.0

@@ -1,0 +1,27 @@
+"""Figure 8: threading/pipelining depth vs replica count, both protocols.
+
+Paper claims: PBFT gains 1.39× moving 0B0E → 2B1E (Zyzzyva 1.72×); the
+full pipeline lets PBFT beat every shallower Zyzzyva variant; decoupling
+execution (0E → 1E) buys ~9.5%.
+"""
+
+from repro.bench import fig08_threading
+
+
+def test_fig08_threading(benchmark, record_figure):
+    figure = benchmark.pedantic(fig08_threading, rounds=1, iterations=1)
+    record_figure(figure)
+    # shape: deeper pipelines never lose, and the full pipeline wins big
+    for protocol in ("PBFT", "ZYZZYVA"):
+        shallow = figure.get(f"{protocol} 0B 0E").throughputs()
+        mid = figure.get(f"{protocol} 1B 1E").throughputs()
+        deep = figure.get(f"{protocol} 2B 1E").throughputs()
+        for s, m, d in zip(shallow, mid, deep):
+            assert d >= m >= 0.95 * s
+        gain = max(d / max(1.0, s) for s, d in zip(shallow, deep))
+        assert gain > 1.3  # paper: 1.39x (PBFT), 1.72x (Zyzzyva)
+    # shape: PBFT on the full pipeline beats Zyzzyva on every shallower one
+    pbft_deep = figure.get("PBFT 2B 1E").throughputs()
+    for label in ("ZYZZYVA 0B 0E", "ZYZZYVA 0B 1E", "ZYZZYVA 1B 1E"):
+        for pbft_tp, zyz_tp in zip(pbft_deep, figure.get(label).throughputs()):
+            assert pbft_tp > zyz_tp

@@ -1,0 +1,30 @@
+"""Figure 10: batch size 1 → 5000 at 16 replicas.
+
+Paper claims: throughput rises until ~1000 txns/batch then falls by 3000+;
+batching buys up to 66× throughput and −98.4% latency.
+"""
+
+from repro.bench import fig10_batching
+
+
+def test_fig10_batching(benchmark, record_figure):
+    figure = benchmark.pedantic(fig10_batching, rounds=1, iterations=1)
+    record_figure(figure)
+    series = figure.get("PBFT 2B 1E")
+    throughputs = dict(zip(series.xs(), series.throughputs()))
+    latencies = dict(zip(series.xs(), series.latencies()))
+    # shape: steep climb, a plateau through the 100–1000 regime, then a
+    # decline at over-batching (the 100 vs 1000 ordering within the
+    # plateau is within noise in this model; the paper's peak is at 1000)
+    assert throughputs[100] > 10 * throughputs[1]
+    assert throughputs[1000] > 0.95 * throughputs[100]
+    best = max(throughputs.values())
+    assert throughputs[5000] < 0.9 * best
+    # scale: the gain from batching is enormous (paper: up to 66x)
+    gain = max(series.throughputs()) / max(1.0, throughputs[1])
+    assert gain > 20
+    # latency falls with batching (paper: -98.4%).  At batch=1 the system
+    # is so slow that only the earliest requests complete inside the
+    # window, censoring the measured latency downward — so this check is
+    # directional rather than matching the paper's full ratio.
+    assert latencies[1000] < 0.6 * latencies[1]

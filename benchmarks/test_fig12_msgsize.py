@@ -1,0 +1,28 @@
+"""Figure 12: growing the Pre-prepare message 8 KB → 64 KB.
+
+Paper claims: −52% throughput and +1.09× latency from 8 KB to 64 KB; the
+network saturates before any thread does (threads go idle).
+"""
+
+from repro.bench import fig12_message_size
+
+
+def test_fig12_message_size(benchmark, record_figure):
+    figure = benchmark.pedantic(fig12_message_size, rounds=1, iterations=1)
+    record_figure(figure)
+    series = figure.get("PBFT 2B 1E")
+    by_size = {point.x: point for point in series.points}
+    # shape: bigger messages, lower throughput, higher latency
+    assert by_size[64].throughput_txns_per_s < by_size[8].throughput_txns_per_s
+    assert by_size[64].latency_s > by_size[8].latency_s
+    # shape: the drop is substantial (paper: 52%)
+    drop = 1 - by_size[64].throughput_txns_per_s / max(
+        1.0, by_size[8].throughput_txns_per_s
+    )
+    assert drop > 0.3
+    # shape: at 64 KB the replica threads are less busy than at baseline —
+    # the network, not the CPU, is the wall
+    assert (
+        by_size[64].extra["cumulative_saturation"]
+        < by_size[0].extra["cumulative_saturation"]
+    )

@@ -1,0 +1,17 @@
+"""Figure 14: in-memory state vs SQLite.
+
+Paper claims: SQLite costs 94% of throughput and 24× latency — the
+execute-thread busy-waits on every record access.
+"""
+
+from repro.bench import fig14_storage
+
+
+def test_fig14_storage(benchmark, record_figure):
+    figure = benchmark.pedantic(fig14_storage, rounds=1, iterations=1)
+    record_figure(figure)
+    memory, sqlite = figure.get("PBFT 2B 1E").points
+    assert memory.x == "memory" and sqlite.x == "sqlite"
+    drop = 1 - sqlite.throughput_txns_per_s / max(1.0, memory.throughput_txns_per_s)
+    assert drop > 0.7  # paper: 94%
+    assert sqlite.latency_s > 3 * memory.latency_s  # paper: 24x

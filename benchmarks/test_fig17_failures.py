@@ -1,0 +1,26 @@
+"""Figure 17: crashing 1 and f=5 backup replicas, PBFT vs Zyzzyva.
+
+Paper claims: PBFT's throughput barely dips (no phase needs more than
+2f+1 of the 3f+1 replicas); Zyzzyva loses ~39× with even one failure
+because every client waits out its timer for the full 3f+1 fast path.
+"""
+
+from repro.bench import fig17_failures
+
+
+def test_fig17_failures(benchmark, record_figure):
+    figure = benchmark.pedantic(fig17_failures, rounds=1, iterations=1)
+    record_figure(figure)
+    pbft = dict(zip(figure.get("PBFT").xs(), figure.get("PBFT").throughputs()))
+    zyzzyva = dict(
+        zip(figure.get("Zyzzyva").xs(), figure.get("Zyzzyva").throughputs())
+    )
+    # shape: PBFT is essentially flat under failures
+    assert pbft[1] > 0.85 * pbft[0]
+    assert pbft[5] > 0.85 * pbft[0]
+    # shape: Zyzzyva collapses with a single failure (paper: ~39x)
+    assert zyzzyva[1] < zyzzyva[0] / 10
+    assert zyzzyva[5] < zyzzyva[0] / 10
+    # and the slow path is what's left: latency ~ the client timeout
+    zyz_late = figure.get("Zyzzyva").points[1]
+    assert zyz_late.latency_s > 1.0

@@ -1,0 +1,14 @@
+"""Pytest root configuration.
+
+Ensures the in-tree ``src/`` layout is importable even when the package has
+not been installed (the offline environment lacks ``wheel``, which breaks
+``pip install -e .``; ``python setup.py develop`` works, but tests should
+not depend on it having been run).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

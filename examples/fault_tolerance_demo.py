@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Failures, head to head: PBFT shrugs, Zyzzyva stalls, view change works.
+
+Reproduces §5.10's lesson at demo scale — a single crashed backup
+devastates a speculative protocol whose clients wait for all 3f+1
+responses — and then demonstrates the PBFT view change replacing a crashed
+primary mid-run.
+
+    python examples/fault_tolerance_demo.py
+"""
+
+from repro.core import ResilientDBSystem, SystemConfig
+from repro.sim.clock import millis, seconds
+
+
+def build_config(protocol: str) -> SystemConfig:
+    return SystemConfig(
+        protocol=protocol,
+        num_replicas=16,
+        num_clients=1_000,
+        client_groups=8,
+        batch_size=50,
+        ycsb_records=5_000,
+        warmup=millis(100),
+        measure=millis(600),
+        zyzzyva_client_timeout=millis(200),
+        real_auth_tokens=False,
+        apply_state=False,
+    )
+
+
+def run(protocol: str, crashes: int):
+    system = ResilientDBSystem(build_config(protocol))
+    if crashes:
+        system.crash_replicas(crashes)
+    return system.run()
+
+
+def main() -> None:
+    print("=== crashed backups: PBFT vs Zyzzyva (n=16, f=5) ===\n")
+    print(f"{'scenario':<28} {'PBFT':>14} {'Zyzzyva':>14}")
+    for crashes in (0, 1, 5):
+        pbft = run("pbft", crashes)
+        zyzzyva = run("zyzzyva", crashes)
+        label = f"{crashes} crashed backup(s)"
+        print(f"{label:<28} {pbft.throughput_txns_per_s / 1e3:>12.1f}K "
+              f"{zyzzyva.throughput_txns_per_s / 1e3:>12.1f}K")
+    print("\nPBFT needs no phase with more than 2f+1 messages, so f crashed")
+    print("backups barely register.  Zyzzyva's clients wait out a timeout")
+    print("for the full 3f+1 fast path on every single request.")
+
+    # ------------------------------------------------------------------
+    print("\n=== PBFT view change: crashing the primary mid-run ===\n")
+    config = SystemConfig(
+        num_replicas=4,
+        num_clients=40,
+        client_groups=4,
+        batch_size=4,
+        ycsb_records=1_000,
+        warmup=millis(50),
+        measure=seconds(3),
+        view_change_timeout=millis(300),
+        client_retransmit=millis(500),
+    )
+    system = ResilientDBSystem(config)
+    system.crash_primary(at_ns=millis(400))
+    result = system.run()
+    views = {rid: replica.engine.view for rid, replica in system.replicas.items()
+             if rid != "r0"}
+    print(f"primary r0 crashed at t=400ms; view-change timeout 300ms")
+    print(f"surviving replicas' views: {views} (r1 is the view-1 primary)")
+    print(f"requests completed across the outage: {result.completed_requests}")
+    prefix = system.validate_safety()
+    print(f"safety held throughout: common prefix of {prefix} batches ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Benchmark harness: one canonical experiment per paper figure.
+
+Each ``figXX_*`` function in :mod:`repro.bench.experiments` regenerates the
+corresponding figure of the paper's evaluation (§5) as a
+:class:`~repro.bench.report.FigureResult` — the same series the paper
+plots, printed as text tables.  ``benchmarks/`` wraps each in a
+pytest-benchmark target.
+
+Scale: simulated windows are hundreds of milliseconds (the paper measures
+120 s, but the DES is deterministic, so short stationary windows carry the
+same information) and client counts are scaled down ~4× by default.  Set
+``REPRO_BENCH_FULL=1`` for paper-scale sweeps.
+"""
+
+from repro.bench.experiments import (
+    fig01_headline,
+    fig07_upper_bound,
+    fig08_threading,
+    fig09_saturation,
+    fig10_batching,
+    fig11_multiop,
+    fig12_message_size,
+    fig13_crypto,
+    fig14_storage,
+    fig15_clients,
+    fig16_cores,
+    fig17_failures,
+)
+from repro.bench.report import FigureResult, Series, SeriesPoint
+from repro.bench.runner import run_config
+
+__all__ = [
+    "FigureResult",
+    "Series",
+    "SeriesPoint",
+    "fig01_headline",
+    "fig07_upper_bound",
+    "fig08_threading",
+    "fig09_saturation",
+    "fig10_batching",
+    "fig11_multiop",
+    "fig12_message_size",
+    "fig13_crypto",
+    "fig14_storage",
+    "fig15_clients",
+    "fig16_cores",
+    "fig17_failures",
+    "run_config",
+]

@@ -1,0 +1,101 @@
+"""Analysis helpers: compare figures, compute speedups, render markdown.
+
+Used by EXPERIMENTS.md regeneration and by users comparing their own
+sweeps against the committed baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bench.report import FigureResult, Series
+
+
+def speedup(series: Series, baseline_x, target_x) -> float:
+    """Throughput at ``target_x`` divided by throughput at ``baseline_x``."""
+    by_x = dict(zip(series.xs(), series.throughputs()))
+    if baseline_x not in by_x or target_x not in by_x:
+        raise KeyError(
+            f"series {series.name!r} lacks points at {baseline_x!r}/{target_x!r}"
+        )
+    baseline = by_x[baseline_x]
+    if baseline <= 0:
+        raise ValueError(f"baseline throughput at {baseline_x!r} is {baseline}")
+    return by_x[target_x] / baseline
+
+
+def crossover(first: Series, second: Series) -> Optional[object]:
+    """First x where ``second`` overtakes ``first`` (None if never).
+
+    Useful for "where does the protocol-centric system lose" questions.
+    """
+    for x, a, b in zip(first.xs(), first.throughputs(), second.throughputs()):
+        if b > a:
+            return x
+    return None
+
+
+def peak(series: Series) -> Tuple[object, float]:
+    """(x, throughput) of the series' best point."""
+    best_index = max(
+        range(len(series.points)),
+        key=lambda i: series.points[i].throughput_txns_per_s,
+    )
+    point = series.points[best_index]
+    return point.x, point.throughput_txns_per_s
+
+
+def degradation(series: Series) -> float:
+    """Fractional drop from the series' peak to its last point (the
+    over-batching / over-padding signature)."""
+    _x, best = peak(series)
+    last = series.points[-1].throughput_txns_per_s
+    return 1.0 - last / best if best > 0 else 0.0
+
+
+def to_markdown(figure: FigureResult) -> str:
+    """Render a figure as a GitHub-flavoured markdown table."""
+    lines = [f"### {figure.figure_id}: {figure.title}", ""]
+    header = [figure.x_label] + [series.name for series in figure.series]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    xs = figure.series[0].xs() if figure.series else []
+    for index, x in enumerate(xs):
+        row = [str(x)]
+        for series in figure.series:
+            if index < len(series.points):
+                point = series.points[index]
+                row.append(
+                    f"{point.throughput_txns_per_s / 1e3:.1f}K "
+                    f"({point.latency_s * 1e3:.1f} ms)"
+                )
+            else:
+                row.append("—")
+        lines.append("| " + " | ".join(row) + " |")
+    for note in figure.notes:
+        lines.append(f"\n> {note}")
+    return "\n".join(lines)
+
+
+def compare_figures(
+    ours: FigureResult, reference: FigureResult, tolerance: float = 0.25
+) -> List[str]:
+    """Report relative throughput deviations beyond ``tolerance`` between
+    two runs of the same figure (regression checking across calibrations).
+    """
+    problems: List[str] = []
+    for series in ours.series:
+        try:
+            ref_series = reference.get(series.name)
+        except KeyError:
+            problems.append(f"series {series.name!r} missing from reference")
+            continue
+        for point, ref_point in zip(series.points, ref_series.points):
+            if ref_point.throughput_txns_per_s <= 0:
+                continue
+            ratio = point.throughput_txns_per_s / ref_point.throughput_txns_per_s
+            if not (1 - tolerance) <= ratio <= (1 + tolerance):
+                problems.append(
+                    f"{series.name} @ {point.x}: {ratio:.2f}x reference"
+                )
+    return problems

@@ -1,0 +1,92 @@
+"""Result containers and paper-style text tables for the bench harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class SeriesPoint:
+    """One (x, y) measurement of a figure's series."""
+
+    x: object
+    throughput_txns_per_s: float
+    latency_s: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Series:
+    """One line of a figure (e.g. "PBFT 2B 1E")."""
+
+    name: str
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def throughputs(self) -> List[float]:
+        return [point.throughput_txns_per_s for point in self.points]
+
+    def latencies(self) -> List[float]:
+        return [point.latency_s for point in self.points]
+
+    def xs(self) -> List[object]:
+        return [point.x for point in self.points]
+
+
+@dataclass
+class FigureResult:
+    """All series regenerating one figure, plus shape notes."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def get(self, name: str) -> Series:
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise KeyError(f"no series named {name!r} in {self.figure_id}")
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    # ------------------------------------------------------------------
+    def format_table(self) -> str:
+        """Render throughput and latency tables like the paper's plots."""
+        lines = [f"== {self.figure_id}: {self.title} =="]
+        xs = self.series[0].xs() if self.series else []
+        header = f"{self.x_label:>14} " + " ".join(
+            f"{series.name:>22}" for series in self.series
+        )
+        lines.append("-- throughput (txns/s) --")
+        lines.append(header)
+        for i, x in enumerate(xs):
+            row = f"{str(x):>14} "
+            for series in self.series:
+                value = (
+                    series.points[i].throughput_txns_per_s
+                    if i < len(series.points)
+                    else float("nan")
+                )
+                row += f" {value / 1e3:>20.1f}K"
+            lines.append(row)
+        lines.append("-- latency (s) --")
+        lines.append(header)
+        for i, x in enumerate(xs):
+            row = f"{str(x):>14} "
+            for series in self.series:
+                value = (
+                    series.points[i].latency_s
+                    if i < len(series.points)
+                    else float("nan")
+                )
+                row += f" {value:>21.4f}"
+            lines.append(row)
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console output
+        print(self.format_table())

@@ -1,0 +1,48 @@
+"""Shared plumbing for running experiment configurations."""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.config import SystemConfig
+from repro.core.system import ExperimentResult, ResilientDBSystem
+from repro.sim.clock import millis
+
+
+def full_scale() -> bool:
+    """Paper-scale sweeps when REPRO_BENCH_FULL=1 (slower, more points)."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def base_config(**overrides) -> SystemConfig:
+    """The benchmark counterpart of the paper's standard setup (§5.1).
+
+    Fidelity knobs that only burn host CPU without changing simulated
+    results (real HMAC tokens, real record stores) are off; client counts
+    are scaled ~4× below the paper's 32K default to keep each point in
+    seconds.  All are overridable.
+    """
+    defaults = dict(
+        num_replicas=16,
+        num_clients=8_000,
+        client_groups=8,
+        batch_size=100,
+        ycsb_records=60_000,
+        warmup=millis(60),
+        measure=millis(100),
+        real_auth_tokens=False,
+        apply_state=False,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def run_config(config: SystemConfig, crash_backups: int = 0) -> ExperimentResult:
+    """Build, run and tear down one deployment."""
+    system = ResilientDBSystem(config)
+    try:
+        if crash_backups:
+            system.crash_replicas(crash_backups)
+        return system.run()
+    finally:
+        system.close()

@@ -1,0 +1,64 @@
+"""Generic parameter sweeps over SystemConfig.
+
+The figure experiments are hand-curated; this module is the general tool
+for exploring any knob::
+
+    from repro.bench.sweeps import sweep
+    series = sweep("batch_size", [10, 100, 1000])
+    series = sweep("num_replicas", [4, 16], base=my_config)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.report import Series, SeriesPoint
+from repro.bench.runner import base_config, run_config
+from repro.core.config import SystemConfig
+
+
+def sweep(
+    parameter: str,
+    values: Sequence,
+    base: Optional[SystemConfig] = None,
+    name: Optional[str] = None,
+    crash_backups: int = 0,
+) -> Series:
+    """Run one deployment per value of ``parameter`` and collect a series."""
+    config = base or base_config()
+    if not hasattr(config, parameter):
+        raise AttributeError(f"SystemConfig has no field {parameter!r}")
+    series = Series(name or parameter)
+    for value in values:
+        result = run_config(
+            config.with_options(**{parameter: value}), crash_backups=crash_backups
+        )
+        series.points.append(
+            SeriesPoint(
+                x=value,
+                throughput_txns_per_s=result.throughput_txns_per_s,
+                latency_s=result.latency_mean_s,
+                extra={
+                    "p99_latency_s": result.latency_p99_s,
+                    "ops_per_s": result.throughput_ops_per_s,
+                    "messages": float(result.messages_sent),
+                },
+            )
+        )
+    return series
+
+
+def grid(
+    parameters: Dict[str, Sequence], base: Optional[SystemConfig] = None
+) -> List[SystemConfig]:
+    """Cartesian product of parameter values as concrete configs."""
+    config = base or base_config()
+    for parameter in parameters:
+        if not hasattr(config, parameter):
+            raise AttributeError(f"SystemConfig has no field {parameter!r}")
+    names = list(parameters)
+    configs = []
+    for combo in itertools.product(*(parameters[name] for name in names)):
+        configs.append(config.with_options(**dict(zip(names, combo))))
+    return configs

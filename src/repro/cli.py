@@ -1,0 +1,139 @@
+"""Command-line interface: run one deployment or regenerate a figure.
+
+Examples::
+
+    python -m repro run --replicas 16 --clients 8000 --batch-size 100
+    python -m repro run --protocol zyzzyva --crash-backups 1
+    python -m repro figure fig10
+    python -m repro list-figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import ResilientDBSystem, SystemConfig
+from repro.sim.clock import millis
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ResilientDB reproduction (ICDCS 2020) — simulated "
+        "permissioned blockchain fabric",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run one deployment and report")
+    run.add_argument("--protocol", choices=("pbft", "zyzzyva", "poe"),
+                     default="pbft")
+    run.add_argument("--replicas", type=int, default=16)
+    run.add_argument("--clients", type=int, default=8_000)
+    run.add_argument("--client-groups", type=int, default=8)
+    run.add_argument("--batch-size", type=int, default=100)
+    run.add_argument("--batch-threads", type=int, default=2)
+    run.add_argument("--execute-threads", type=int, default=1)
+    run.add_argument("--ops-per-txn", type=int, default=1)
+    run.add_argument("--cores", type=int, default=8)
+    run.add_argument("--storage", choices=("memory", "sqlite"),
+                     default="memory")
+    run.add_argument("--client-scheme", default="ed25519",
+                     choices=("none", "ed25519", "rsa", "cmac-aes"))
+    run.add_argument("--replica-scheme", default="cmac-aes",
+                     choices=("none", "ed25519", "rsa", "cmac-aes"))
+    run.add_argument("--crash-backups", type=int, default=0)
+    run.add_argument("--warmup-ms", type=float, default=120)
+    run.add_argument("--measure-ms", type=float, default=200)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--records", type=int, default=60_000)
+    run.add_argument("--full-fidelity", action="store_true",
+                     help="real auth tokens + real state application")
+
+    figure = commands.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("figure_id", help="e.g. fig10 (see list-figures)")
+
+    commands.add_parser("list-figures", help="list regenerable figures")
+    return parser
+
+
+def _figure_registry():
+    from repro.bench import experiments
+
+    return {
+        name.split("_")[0]: getattr(experiments, name)
+        for name in dir(experiments)
+        if name.startswith("fig")
+    }
+
+
+def _command_run(args) -> int:
+    config = SystemConfig(
+        protocol=args.protocol,
+        num_replicas=args.replicas,
+        num_clients=args.clients,
+        client_groups=args.client_groups,
+        batch_size=args.batch_size,
+        batch_threads=args.batch_threads,
+        execute_threads=args.execute_threads,
+        ops_per_txn=args.ops_per_txn,
+        cores_per_replica=args.cores,
+        storage_backend=args.storage,
+        client_scheme=args.client_scheme,
+        replica_scheme=args.replica_scheme,
+        ycsb_records=args.records,
+        warmup=millis(args.warmup_ms),
+        measure=millis(args.measure_ms),
+        seed=args.seed,
+        real_auth_tokens=args.full_fidelity,
+        apply_state=args.full_fidelity,
+    )
+    system = ResilientDBSystem(config)
+    try:
+        if args.crash_backups:
+            system.crash_replicas(args.crash_backups)
+        result = system.run()
+    finally:
+        system.close()
+    print(result.summary())
+    print(f"ops/s:        {result.throughput_ops_per_s / 1e3:.1f}K")
+    print(f"messages:     {result.messages_sent} "
+          f"({result.bytes_sent / 1e6:.1f} MB)")
+    print(f"chain height: {result.chain_height} "
+          f"(stable checkpoint {result.stable_checkpoint})")
+    print("primary saturation:")
+    for stage, value in sorted(result.primary_saturation.items()):
+        print(f"  {stage:<12} {value * 100:5.1f}%")
+    return 0
+
+
+def _command_figure(figure_id: str) -> int:
+    registry = _figure_registry()
+    fn = registry.get(figure_id)
+    if fn is None:
+        print(f"unknown figure {figure_id!r}; available: "
+              f"{', '.join(sorted(registry))}", file=sys.stderr)
+        return 2
+    fn().print()
+    return 0
+
+
+def _command_list() -> int:
+    for figure_id, fn in sorted(_figure_registry().items()):
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{figure_id:>8}  {doc}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "figure":
+        return _command_figure(args.figure_id)
+    return _command_list()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

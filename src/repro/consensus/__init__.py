@@ -1,0 +1,68 @@
+"""BFT consensus protocols: PBFT and Zyzzyva.
+
+Protocol logic is written as message-driven state machines
+(:class:`~repro.consensus.pbft.PbftReplica`,
+:class:`~repro.consensus.zyzzyva.ZyzzyvaReplica`) that return *actions*
+(send, broadcast, execute, timers) rather than performing I/O.  The replica
+pipeline (:mod:`repro.core`) charges simulated CPU for each handled message
+and routes the actions; tests drive the state machines directly, with no
+simulator, to check safety properties.
+
+Quorum arithmetic follows the paper (§2.1): ``n ≥ 3f + 1``; a replica is
+*prepared* after 2f matching ``Prepare`` messages and *committed* after
+2f+1 matching ``Commit`` messages; clients accept f+1 matching responses.
+Zyzzyva's fast path instead needs all ``3f + 1`` speculative responses at
+the client, falling back to a 2f+1 commit certificate.
+"""
+
+from repro.consensus.base import (
+    Action,
+    Broadcast,
+    ExecuteReady,
+    QuorumConfig,
+    SendTo,
+    StartViewChangeTimer,
+    CancelViewChangeTimer,
+)
+from repro.consensus.messages import (
+    Checkpoint,
+    ClientRequest,
+    ClientResponse,
+    Commit,
+    CommitCertificate,
+    LocalCommit,
+    NewView,
+    OrderRequest,
+    Prepare,
+    PrePrepare,
+    SpecResponse,
+    ViewChange,
+)
+from repro.consensus.pbft import PbftReplica
+from repro.consensus.safety import check_execution_consistency
+from repro.consensus.zyzzyva import ZyzzyvaReplica
+
+__all__ = [
+    "Action",
+    "Broadcast",
+    "CancelViewChangeTimer",
+    "Checkpoint",
+    "ClientRequest",
+    "ClientResponse",
+    "Commit",
+    "CommitCertificate",
+    "ExecuteReady",
+    "LocalCommit",
+    "NewView",
+    "OrderRequest",
+    "PbftReplica",
+    "Prepare",
+    "PrePrepare",
+    "QuorumConfig",
+    "SendTo",
+    "SpecResponse",
+    "StartViewChangeTimer",
+    "ViewChange",
+    "ZyzzyvaReplica",
+    "check_execution_consistency",
+]

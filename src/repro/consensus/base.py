@@ -1,0 +1,142 @@
+"""Shared consensus machinery: quorum arithmetic and protocol actions.
+
+State machines return lists of :class:`Action` objects; the host (the
+replica pipeline, or a test harness) interprets them.  Keeping protocol
+logic free of I/O and timing makes safety properties directly testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.consensus.messages import ClientRequest
+from repro.net.message import Message
+
+
+@dataclass(frozen=True)
+class QuorumConfig:
+    """Quorum arithmetic for ``n = 3f + 1`` replicas (§2.1)."""
+
+    n: int
+    f: int
+
+    def __post_init__(self):
+        if self.f < 0:
+            raise ValueError(f"f must be >= 0, got {self.f}")
+        if self.n < 3 * self.f + 1:
+            raise ValueError(
+                f"n={self.n} cannot tolerate f={self.f} faults (need n >= 3f+1)"
+            )
+
+    @classmethod
+    def for_replicas(cls, n: int) -> "QuorumConfig":
+        """Maximum fault tolerance for ``n`` replicas: f = ⌊(n−1)/3⌋."""
+        if n < 4:
+            raise ValueError(f"BFT needs at least 4 replicas, got {n}")
+        return cls(n=n, f=(n - 1) // 3)
+
+    @property
+    def commit_quorum(self) -> int:
+        """Commit messages needed to mark a request committed.
+
+        ⌈(n+f+1)/2⌉ — equals the paper's 2f+1 when n = 3f+1 and keeps the
+        required property for larger n: any two commit quorums intersect
+        in at least f+1 replicas, hence in a non-faulty one.
+        """
+        return -(-(self.n + self.f + 1) // 2)  # ceil division
+
+    @property
+    def prepare_quorum(self) -> int:
+        """Prepare messages needed to mark a request prepared (2f when
+        n = 3f+1; the pre-prepare itself supplies the missing vote)."""
+        return self.commit_quorum - 1
+
+    @property
+    def checkpoint_quorum(self) -> int:
+        """Identical checkpoint messages for stability."""
+        return self.commit_quorum
+
+    @property
+    def view_change_quorum(self) -> int:
+        return self.commit_quorum
+
+    @property
+    def client_response_quorum(self) -> int:
+        """Matching responses a PBFT client waits for: f + 1."""
+        return self.f + 1
+
+    @property
+    def fast_path_quorum(self) -> int:
+        """Responses Zyzzyva's fast path needs: all n replicas ("a client
+        [must] receive a response from all the 3f+1 replicas", §2.1)."""
+        return self.n
+
+    @property
+    def certificate_quorum(self) -> int:
+        """Spec-responses in a Zyzzyva commit certificate."""
+        return self.commit_quorum
+
+
+# ----------------------------------------------------------------------
+# actions
+# ----------------------------------------------------------------------
+class Action:
+    """Base class for protocol outputs."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SendTo(Action):
+    """Send ``message`` to one destination (a replica or a client)."""
+
+    dst: str
+    message: Message
+
+
+@dataclass(frozen=True)
+class Broadcast(Action):
+    """Send ``message`` to every other replica."""
+
+    message: Message
+
+
+@dataclass(frozen=True)
+class ExecuteReady(Action):
+    """Hand a committed (PBFT) or speculatively ordered (Zyzzyva) batch to
+    the execution layer.
+
+    ``commit_proof`` carries the (replica, signature-token) pairs of the
+    commit quorum so block generation can embed the certificate instead of
+    hashing the previous block (§4.6); Zyzzyva's speculative execution has
+    no proof yet and passes an empty tuple plus ``speculative=True``.
+    """
+
+    sequence: int
+    view: int
+    request: ClientRequest
+    commit_proof: tuple = ()
+    speculative: bool = False
+
+
+@dataclass(frozen=True)
+class StartViewChangeTimer(Action):
+    """Arm the view-change timer for ``sequence`` if not already armed."""
+
+    sequence: int
+
+
+@dataclass(frozen=True)
+class CancelViewChangeTimer(Action):
+    """Disarm the view-change timer for ``sequence`` (request committed)."""
+
+    sequence: int
+
+
+@dataclass(frozen=True)
+class EnterView(Action):
+    """Report that the replica moved to ``view`` (host updates routing;
+    the new primary's pipeline enables its batch/sequencing stages)."""
+
+    view: int

@@ -1,0 +1,86 @@
+"""Safety-invariant checkers used by tests and property-based harnesses.
+
+The fundamental BFT guarantee the paper leans on (§4.5–4.6): all non-faulty
+replicas establish *a single common order* — the sequences of executed
+batch digests at any two non-faulty replicas must be consistent prefixes of
+one another, with no gaps and no divergence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+class SafetyViolation(AssertionError):
+    """Raised when replica execution logs contradict BFT safety."""
+
+
+def check_execution_consistency(
+    logs: Dict[str, Sequence[Tuple[int, str]]],
+    faulty: Sequence[str] = (),
+) -> int:
+    """Validate the executed (sequence, digest) logs of a deployment.
+
+    ``logs`` maps replica id to its executed log, in execution order.
+    Checks, for every non-faulty replica:
+
+    1. execution order equals sequence order, starting at 1, with no gaps
+       and no duplicates;
+    2. any two replicas agree on the digest of every sequence both
+       executed (prefix consistency).
+
+    Returns the length of the shortest non-faulty log (the common prefix
+    length proven identical).
+    """
+    non_faulty = {rid: log for rid, log in logs.items() if rid not in set(faulty)}
+    if not non_faulty:
+        raise SafetyViolation("no non-faulty logs to check")
+
+    for rid, log in non_faulty.items():
+        expected = 1
+        for sequence, _digest in log:
+            if sequence != expected:
+                raise SafetyViolation(
+                    f"replica {rid} executed sequence {sequence}, expected "
+                    f"{expected} (out-of-order or gap)"
+                )
+            expected += 1
+
+    reference: Dict[int, Tuple[str, str]] = {}
+    for rid, log in non_faulty.items():
+        for sequence, digest in log:
+            if sequence in reference:
+                ref_rid, ref_digest = reference[sequence]
+                if digest != ref_digest:
+                    raise SafetyViolation(
+                        f"divergence at sequence {sequence}: replica {ref_rid} "
+                        f"executed {ref_digest!r}, replica {rid} executed "
+                        f"{digest!r}"
+                    )
+            else:
+                reference[sequence] = (rid, digest)
+
+    return min(len(log) for log in non_faulty.values())
+
+
+def check_state_convergence(states: Dict[str, Dict[str, str]], faulty=()) -> None:
+    """All non-faulty replicas that executed the same prefix must hold the
+    same record store contents."""
+    items = [
+        (rid, state) for rid, state in states.items() if rid not in set(faulty)
+    ]
+    if len(items) < 2:
+        return
+    ref_rid, reference = items[0]
+    for rid, state in items[1:]:
+        if state != reference:
+            differing = {
+                key
+                for key in set(reference) | set(state)
+                if reference.get(key) != state.get(key)
+            }
+            sample = sorted(differing)[:5]
+            raise SafetyViolation(
+                f"state divergence between {ref_rid} and {rid} on "
+                f"{len(differing)} keys (sample: {sample})"
+            )

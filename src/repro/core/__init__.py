@@ -1,0 +1,25 @@
+"""ResilientDB core: the multi-threaded, deeply pipelined replica fabric.
+
+This package assembles the substrates (simulated kernel, network, crypto,
+storage, consensus engines) into the system of the paper's §4:
+
+- :class:`~repro.core.config.SystemConfig` — every experiment knob.
+- :class:`~repro.core.replica.Replica` — the pipelined replica: input,
+  batch, worker, execute, checkpoint and output threads connected by
+  queues (Figures 6a/6b).
+- :class:`~repro.core.clientmgr.ClientGroup` — closed-loop clients with
+  PBFT (f+1 responses) and Zyzzyva (3f+1 fast path, commit-certificate
+  fallback) completion logic.
+- :class:`~repro.core.system.ResilientDBSystem` — deployment builder and
+  experiment runner producing :class:`~repro.core.system.ExperimentResult`.
+"""
+
+from repro.core.config import SystemConfig, WorkCosts
+from repro.core.system import ExperimentResult, ResilientDBSystem
+
+__all__ = [
+    "ExperimentResult",
+    "ResilientDBSystem",
+    "SystemConfig",
+    "WorkCosts",
+]

@@ -1,0 +1,168 @@
+"""Byzantine replica behaviours.
+
+The paper's threat model (§2.1) is full byzantine failure — "some of which
+could be byzantine" — but its experiments only exercise crashes (§5.10).
+This module goes further: it wraps a replica's consensus engine with an
+*adversary policy* that actively misbehaves, so the test suite can check
+that safety (single common order, §4.5–4.6) survives behaviours crashes
+never produce:
+
+- ``EquivocatingPrimary`` — proposes different batches to different
+  backups at the same sequence number.
+- ``ConflictingVoter`` — votes (Prepare/Commit/Support) for a corrupted
+  digest instead of the proposed one.
+- ``SilentReplica`` — participates in nothing (fail-stop without the
+  crash being visible to the transport).
+- ``DelayedReplica`` — withholds every outgoing message for a fixed
+  delay, stressing the out-of-order machinery.
+
+Policies transform the *actions* an engine emits, so they compose with
+any engine (PBFT, Zyzzyva, PoE).  The framework still prevents identity
+forgery — a byzantine replica signs with its own keys (the crypto layer
+enforces key custody), exactly the power model of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.consensus.base import Action, Broadcast, SendTo
+from repro.consensus.messages import Commit, Prepare, PrePrepare
+
+
+class AdversaryPolicy:
+    """Base policy: pass actions through unchanged (honest)."""
+
+    name = "honest"
+
+    def transform(self, replica, actions: List[Action]) -> List[Action]:
+        return actions
+
+
+class SilentReplica(AdversaryPolicy):
+    """Send nothing, ever.  Differs from a crash in that the node still
+    receives and processes messages (it can lie later)."""
+
+    name = "silent"
+
+    def transform(self, replica, actions: List[Action]) -> List[Action]:
+        return [
+            action
+            for action in actions
+            if not isinstance(action, (Broadcast, SendTo))
+        ]
+
+
+class ConflictingVoter(AdversaryPolicy):
+    """Replace the digest in every outgoing vote with a corrupted one.
+
+    Honest replicas bucket votes by digest, so these votes land in a
+    separate bucket and can never help the honest digest reach quorum —
+    the behaviour the per-digest vote accounting exists to contain.
+    """
+
+    name = "conflicting-voter"
+
+    def transform(self, replica, actions: List[Action]) -> List[Action]:
+        transformed: List[Action] = []
+        for action in actions:
+            message = getattr(action, "message", None)
+            if isinstance(message, (Prepare, Commit)):
+                corrupted = type(message)(
+                    message.sender,
+                    message.view,
+                    message.sequence,
+                    "byzantine:" + (message.digest or ""),
+                )
+                if isinstance(action, Broadcast):
+                    transformed.append(Broadcast(corrupted))
+                else:
+                    transformed.append(SendTo(action.dst, corrupted))
+            else:
+                transformed.append(action)
+        return transformed
+
+
+class EquivocatingPrimary(AdversaryPolicy):
+    """As primary, send half the backups a different proposal.
+
+    Converts each ``Broadcast(PrePrepare)`` into per-destination sends
+    where the second half of the replica set receives a proposal whose
+    digest does not match the batch — honest backups reject it when they
+    re-hash the batch (§4.3's digest check), so at most one of the two
+    proposals can ever prepare.
+    """
+
+    name = "equivocating-primary"
+
+    def transform(self, replica, actions: List[Action]) -> List[Action]:
+        transformed: List[Action] = []
+        for action in actions:
+            message = getattr(action, "message", None)
+            if isinstance(action, Broadcast) and isinstance(message, PrePrepare):
+                others = [
+                    rid for rid in replica.system.replica_ids
+                    if rid != replica.replica_id
+                ]
+                half = len(others) // 2
+                for dst in others[:half]:
+                    transformed.append(SendTo(dst, message))
+                forged = PrePrepare(
+                    message.sender,
+                    message.view,
+                    message.sequence,
+                    "equivocation:" + message.digest,
+                    message.request,
+                )
+                for dst in others[half:]:
+                    transformed.append(SendTo(dst, forged))
+            else:
+                transformed.append(action)
+        return transformed
+
+
+class DelayedReplica(AdversaryPolicy):
+    """Withhold every outgoing message for ``delay_ns`` before releasing
+    it (violates timeliness, not content)."""
+
+    name = "delayed"
+
+    def __init__(self, delay_ns: int):
+        self.delay_ns = delay_ns
+
+    def transform(self, replica, actions: List[Action]) -> List[Action]:
+        immediate: List[Action] = []
+        for action in actions:
+            if isinstance(action, (Broadcast, SendTo)):
+                replica.sim.schedule(
+                    self.delay_ns, self._release, replica, action
+                )
+            else:
+                immediate.append(action)
+        return immediate
+
+    @staticmethod
+    def _release(replica, action: Action) -> None:
+        replica.sim.spawn(
+            replica._dispatch(
+                [action], f"{replica.replica_id}.worker", transformed=True
+            ),
+            name=f"{replica.replica_id}.delayed-release",
+        )
+
+
+_POLICIES = {
+    "silent": SilentReplica,
+    "conflicting-voter": ConflictingVoter,
+    "equivocating-primary": EquivocatingPrimary,
+}
+
+
+def make_policy(name: str, **kwargs) -> AdversaryPolicy:
+    """Factory: policy by name (``delayed`` takes ``delay_ns``)."""
+    if name == "delayed":
+        return DelayedReplica(kwargs.get("delay_ns", 0))
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(f"unknown adversary policy {name!r}") from None

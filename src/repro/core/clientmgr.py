@@ -1,0 +1,251 @@
+"""Closed-loop clients (§5.1, §5.8).
+
+The paper drives every experiment with up to 80K closed-loop clients: each
+client keeps one request in flight and issues the next one the moment the
+previous completes.  That model is what produces Fig. 15's signature — as
+clients grow, throughput saturates while latency rises linearly (the extra
+requests simply queue).
+
+Simulating 80K coroutines would be wasteful; instead clients are grouped.
+A :class:`ClientGroup` owns one network endpoint and manages
+``clients_per_group`` *logical* clients as pending-request records.  Group
+size changes nothing about offered load or completion logic — it only
+coalesces endpoints.
+
+Completion rules:
+
+- **PBFT**: f+1 matching responses from distinct replicas.
+- **Zyzzyva fast path**: 3f+1 responses matching on (view, sequence,
+  result digest, history hash).
+- **Zyzzyva slow path**: if the fast path misses the client's timer but
+  ≥ 2f+1 responses match, the client sends a ``CommitCertificate`` to all
+  replicas and completes on 2f+1 ``LocalCommit`` acks.  With even one
+  crashed backup every request takes this path, which is the mechanism
+  behind Fig. 17's collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.consensus.messages import ClientRequest, CommitCertificate
+from repro.sim.events import Timer
+from repro.workloads.ycsb import YCSBWorkload
+
+
+@dataclass
+class PendingRequest:
+    """Book-keeping for one in-flight logical-client request."""
+
+    submitted_at: int
+    txn_count: int
+    #: PBFT: responding replica -> result digest
+    responses: Dict[str, str] = field(default_factory=dict)
+    #: Zyzzyva: match key -> set of responders
+    spec_matches: Dict[Tuple, Set[str]] = field(default_factory=dict)
+    #: Zyzzyva slow path state
+    certificate_sent: bool = False
+    certificate_sequence: Optional[int] = None
+    local_commits: Set[str] = field(default_factory=set)
+    retransmissions: int = 0
+
+
+class ClientGroup:
+    """A bundle of logical closed-loop clients sharing one endpoint."""
+
+    def __init__(self, system, index: int, logical_clients: int):
+        self.system = system
+        self.config = system.config
+        self.sim = system.sim
+        self.name = f"client{index}"
+        self.logical_clients = logical_clients
+        self.endpoint = system.network.register(self.name)
+        rng = system.rng.fork(self.name)
+        self.workload = YCSBWorkload(
+            rng,
+            record_count=self.config.ycsb_records,
+            ops_per_txn=self.config.ops_per_txn,
+            padding_bytes=self.config.payload_padding_bytes,
+            write_fraction=self.config.write_fraction,
+            theta=self.config.ycsb_theta,
+        )
+        self.next_request_id = 0
+        self.pending: Dict[int, PendingRequest] = {}
+        self.completed_requests = 0
+        self.fast_path_completions = 0
+        self.slow_path_completions = 0
+
+    # ------------------------------------------------------------------
+    def start(self, ramp_ns: int) -> None:
+        """Spawn the response loop and stagger the initial window of
+        requests over ``ramp_ns`` to avoid a synthetic thundering herd."""
+        self.sim.spawn(self._inbox_loop(), name=f"{self.name}.inbox")
+        for i in range(self.logical_clients):
+            delay = (ramp_ns * i) // max(1, self.logical_clients)
+            self.sim.schedule(delay, self._send_new_request)
+
+    # ------------------------------------------------------------------
+    # request issue
+    # ------------------------------------------------------------------
+    def _send_new_request(self) -> None:
+        config = self.config
+        request_id = self.next_request_id
+        self.next_request_id += 1
+        txns = tuple(
+            self.workload.next_transaction(self.name)
+            for _ in range(config.client_batch_txns)
+        )
+        request = ClientRequest(self.name, request_id, txns)
+        if config.real_auth_tokens:
+            request.auth, _ = self.system.client_scheme.authenticate(
+                request.signable_bytes(), self.name, [self.system.replica_ids[0]]
+            )
+        self.pending[request_id] = PendingRequest(
+            submitted_at=self.sim.now, txn_count=len(txns)
+        )
+        self.system.network.send(self.name, self.system.contact_replica(), request)
+        if config.protocol == "zyzzyva":
+            Timer(
+                self.sim,
+                config.zyzzyva_client_timeout,
+                self._on_zyzzyva_timeout,
+                request_id,
+            )
+        elif config.client_retransmit is not None:
+            Timer(self.sim, config.client_retransmit, self._on_retransmit,
+                  request_id, request)
+
+    def _on_retransmit(self, request_id: int, request: ClientRequest) -> None:
+        pending = self.pending.get(request_id)
+        if pending is None:
+            return
+        pending.retransmissions += 1
+        # PBFT clients that suspect the primary broadcast to all replicas,
+        # which forward to the current primary
+        for rid in self.system.replica_ids:
+            self.system.network.send(self.name, rid, request)
+        if self.config.client_retransmit is not None:
+            Timer(self.sim, self.config.client_retransmit, self._on_retransmit,
+                  request_id, request)
+
+    # ------------------------------------------------------------------
+    # response handling
+    # ------------------------------------------------------------------
+    def _inbox_loop(self):
+        quorum_needed = self.system.quorum.client_response_quorum
+        # Zyzzyva's fast path needs every replica to answer identically;
+        # PoE's speculative responses already carry a 2f+1 support quorum,
+        # so 2f+1 matching responses complete the request
+        if self.config.protocol == "zyzzyva":
+            fast_needed = self.system.quorum.fast_path_quorum
+        else:
+            fast_needed = self.system.quorum.certificate_quorum
+        commit_needed = self.system.quorum.certificate_quorum
+        upper_bound = not self.config.consensus_enabled
+        while True:
+            message = yield self.endpoint.inbox.get()
+            kind = message.kind
+            if kind == "client-response":
+                for request_id in message.request_ids:
+                    pending = self.pending.get(request_id)
+                    if pending is None:
+                        continue
+                    pending.responses[message.sender] = message.result_digest
+                    matching = sum(
+                        1
+                        for digest in pending.responses.values()
+                        if digest == message.result_digest
+                    )
+                    if upper_bound or matching >= quorum_needed:
+                        self._complete(request_id, fast=True)
+            elif kind == "spec-response":
+                key = (
+                    message.view,
+                    message.sequence,
+                    message.result_digest,
+                    message.history_hash,
+                )
+                for request_id in message.request_ids:
+                    pending = self.pending.get(request_id)
+                    if pending is None:
+                        continue
+                    responders = pending.spec_matches.setdefault(key, set())
+                    responders.add(message.sender)
+                    if len(responders) >= fast_needed:
+                        self._complete(request_id, fast=True)
+            elif kind == "local-commit":
+                # sequence-scoped ack; match any pending request awaiting
+                # certificates for that sequence
+                self._handle_local_commit(message, commit_needed)
+
+    def _handle_local_commit(self, message, commit_needed: int) -> None:
+        for request_id, pending in list(self.pending.items()):
+            if (
+                not pending.certificate_sent
+                or pending.certificate_sequence != message.sequence
+            ):
+                continue
+            pending.local_commits.add(message.sender)
+            if len(pending.local_commits) >= commit_needed:
+                self._complete(request_id, fast=False)
+
+    # ------------------------------------------------------------------
+    # Zyzzyva client timer (§5.10)
+    # ------------------------------------------------------------------
+    def _on_zyzzyva_timeout(self, request_id: int) -> None:
+        pending = self.pending.get(request_id)
+        if pending is None:
+            return  # completed on the fast path; timer is moot
+        commit_needed = self.system.quorum.certificate_quorum
+        best_key, responders = None, set()
+        for key, who in pending.spec_matches.items():
+            if len(who) > len(responders):
+                best_key, responders = key, who
+        if best_key is not None and len(responders) >= commit_needed:
+            if not pending.certificate_sent:
+                pending.certificate_sent = True
+                view, sequence, result_digest, _history = best_key
+                pending.certificate_sequence = sequence
+                certificate = CommitCertificate(
+                    self.name, view, sequence, result_digest,
+                    tuple(sorted(responders)[:commit_needed]),
+                )
+                if self.config.real_auth_tokens:
+                    certificate.auth, _ = self.system.client_scheme.authenticate(
+                        certificate.signable_bytes(), self.name,
+                        list(self.system.replica_ids),
+                    )
+                for rid in self.system.replica_ids:
+                    self.system.network.send(self.name, rid, certificate)
+            # re-arm in case local-commits get lost too
+            Timer(self.sim, self.config.zyzzyva_client_timeout,
+                  self._on_zyzzyva_timeout, request_id)
+        else:
+            # not even a certificate quorum: retransmit the whole request
+            pending.retransmissions += 1
+            Timer(self.sim, self.config.zyzzyva_client_timeout,
+                  self._on_zyzzyva_timeout, request_id)
+
+    # ------------------------------------------------------------------
+    def _complete(self, request_id: int, fast: bool) -> None:
+        pending = self.pending.pop(request_id, None)
+        if pending is None:
+            return
+        self.completed_requests += 1
+        metrics = self.system.metrics
+        if fast:
+            self.fast_path_completions += 1
+            metrics.counter("fast_path_completions").increment()
+        else:
+            self.slow_path_completions += 1
+            metrics.counter("slow_path_completions").increment()
+        latency = self.sim.now - pending.submitted_at
+        metrics.histogram("request_latency").record(latency)
+        metrics.counter("requests_completed").increment()
+        metrics.counter("txns_completed").increment(pending.txn_count)
+        metrics.counter("ops_completed").increment(
+            pending.txn_count * self.config.ops_per_txn
+        )
+        # closed loop: this logical client immediately issues its next one
+        self._send_new_request()

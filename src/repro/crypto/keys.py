@@ -1,0 +1,65 @@
+"""Key material for a deployment.
+
+The key store plays the role of the PKI that a permissioned deployment sets
+up out of band (identities are known a priori — that is what *permissioned*
+means).  It derives, deterministically from the system seed:
+
+* a private signing seed per identity (clients and replicas), and
+* a pairwise symmetric key per unordered identity pair, for MACs.
+
+Byzantine-behaviour tests rely on the framework invariant that a node may
+request signatures only under its own identity; the store enforces the
+lookup discipline that a real PKI's private-key custody would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Tuple
+
+
+class UnknownIdentityError(KeyError):
+    """Raised when signing or verifying against an unregistered identity."""
+
+
+class KeyStore:
+    """Deterministic key registry for one deployment."""
+
+    def __init__(self, system_seed: int):
+        self.system_seed = system_seed
+        self._signing_seeds: Dict[str, bytes] = {}
+        self._pair_keys: Dict[Tuple[str, str], bytes] = {}
+
+    def register(self, identity: str) -> None:
+        """Provision key material for ``identity`` (idempotent)."""
+        if identity in self._signing_seeds:
+            return
+        self._signing_seeds[identity] = self._derive(f"sign:{identity}")
+
+    def signing_seed(self, identity: str) -> bytes:
+        """Private signing seed — custody belongs to ``identity`` alone."""
+        try:
+            return self._signing_seeds[identity]
+        except KeyError:
+            raise UnknownIdentityError(identity) from None
+
+    def pair_key(self, a: str, b: str) -> bytes:
+        """Symmetric key shared by identities ``a`` and ``b`` (order-free)."""
+        if a not in self._signing_seeds:
+            raise UnknownIdentityError(a)
+        if b not in self._signing_seeds:
+            raise UnknownIdentityError(b)
+        pair = (a, b) if a <= b else (b, a)
+        key = self._pair_keys.get(pair)
+        if key is None:
+            key = self._derive(f"pair:{pair[0]}:{pair[1]}")
+            self._pair_keys[pair] = key
+        return key
+
+    def identities(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._signing_seeds))
+
+    def _derive(self, label: str) -> bytes:
+        return hashlib.blake2b(
+            f"{self.system_seed}:{label}".encode("utf-8"), digest_size=32
+        ).digest()

@@ -1,0 +1,239 @@
+"""Signature schemes with broadcast-aware cost accounting.
+
+A crucial asymmetry drives the paper's crypto lesson (§3, §5.6):
+
+* A **digital signature** (ED25519, RSA) is computed once and every receiver
+  can verify the same token — broadcast sign cost is O(1) — and it provides
+  non-repudiation.
+* A **MAC** (CMAC-AES) must be computed per receiver under the pairwise key
+  — broadcast sign cost is O(n) — but each token is ~50–3000× cheaper, so
+  for the n ≤ 32 deployments studied, MACs win decisively wherever
+  non-repudiation is not needed (no replica forwards another replica's
+  messages in PBFT, so it is not needed between replicas).
+
+:meth:`SignatureScheme.authenticate` returns the real token(s) plus the
+simulated cost; :meth:`SignatureScheme.check` verifies for real and returns
+the simulated verification cost.
+"""
+
+from __future__ import annotations
+
+import enum
+import hmac
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
+from repro.crypto.keys import KeyStore
+
+
+class SchemeName(str, enum.Enum):
+    """The four signing configurations of the paper's Fig. 13."""
+
+    NULL = "none"
+    ED25519 = "ed25519"
+    RSA = "rsa"
+    CMAC_AES = "cmac-aes"
+
+
+@dataclass(frozen=True)
+class AuthToken:
+    """Authentication material attached to a message.
+
+    ``tokens`` maps receiver identity to its MAC token; the special key
+    ``None`` holds a universal digital-signature token valid for every
+    receiver.
+    """
+
+    scheme: SchemeName
+    signer: str
+    tokens: Dict[Optional[str], bytes]
+
+    def for_receiver(self, receiver: str) -> Optional[bytes]:
+        if None in self.tokens:
+            return self.tokens[None]
+        return self.tokens.get(receiver)
+
+
+class SignatureScheme:
+    """Base class; concrete schemes fill in costs and token derivation."""
+
+    name: SchemeName = SchemeName.NULL
+    token_size_bytes: int = 0
+    #: Whether a third party can verify a token it did not receive directly
+    #: (digital signatures: yes; MACs: no).  PBFT view-change and Zyzzyva
+    #: commit certificates need this from *client* messages only.
+    non_repudiation: bool = False
+
+    def __init__(self, keystore: KeyStore, costs: CryptoCosts = DEFAULT_COSTS):
+        self.keystore = keystore
+        self.costs = costs
+
+    # -- cost model ----------------------------------------------------
+    def sign_cost(self, size_bytes: int, receivers: int = 1) -> int:
+        """Simulated ns to authenticate one message for ``receivers``."""
+        raise NotImplementedError
+
+    def verify_cost(self, size_bytes: int) -> int:
+        """Simulated ns for one receiver to verify."""
+        raise NotImplementedError
+
+    # -- real tokens ---------------------------------------------------
+    def authenticate(
+        self, data: bytes, signer: str, receivers: Iterable[str]
+    ) -> Tuple[AuthToken, int]:
+        """Produce tokens for ``data`` from ``signer`` to ``receivers``.
+
+        Returns ``(token, simulated_cost_ns)``.
+        """
+        raise NotImplementedError
+
+    def check(
+        self, data: bytes, token: Optional[AuthToken], signer: str, receiver: str
+    ) -> Tuple[bool, int]:
+        """Verify ``token`` on ``data``; returns ``(valid, cost_ns)``."""
+        raise NotImplementedError
+
+
+class NullScheme(SignatureScheme):
+    """No authentication at all — the paper's upper-bound configuration.
+
+    Attains the highest throughput but "does not fulfill the minimal
+    requirements of a permissioned blockchain system" (§5.6).
+    """
+
+    name = SchemeName.NULL
+    token_size_bytes = 0
+
+    def sign_cost(self, size_bytes: int, receivers: int = 1) -> int:
+        return 0
+
+    def verify_cost(self, size_bytes: int) -> int:
+        return 0
+
+    def authenticate(self, data, signer, receivers):
+        return AuthToken(self.name, signer, {}), 0
+
+    def check(self, data, token, signer, receiver):
+        return True, 0
+
+
+class _DigitalSignatureScheme(SignatureScheme):
+    """Shared machinery for the (simulated-cost) digital-signature schemes.
+
+    The token is a real HMAC under the signer's private seed, so forged or
+    tampered messages fail verification in tests; the asymmetric-crypto
+    *time* comes from the cost table.
+    """
+
+    non_repudiation = True
+    _sign_ns: int = 0
+    _verify_ns: int = 0
+
+    def sign_cost(self, size_bytes: int, receivers: int = 1) -> int:
+        # one signature serves every receiver; hashing the payload to the
+        # signing digest is charged per byte
+        return self._sign_ns + self.costs.sha256_ns(size_bytes)
+
+    def verify_cost(self, size_bytes: int) -> int:
+        return self._verify_ns + self.costs.sha256_ns(size_bytes)
+
+    def authenticate(self, data, signer, receivers):
+        seed = self.keystore.signing_seed(signer)
+        token = hmac.new(seed, data, hashlib.sha256).digest()
+        return (
+            AuthToken(self.name, signer, {None: token}),
+            self.sign_cost(len(data), receivers=1),
+        )
+
+    def check(self, data, token, signer, receiver):
+        cost = self.verify_cost(len(data))
+        if token is None or token.signer != signer:
+            return False, cost
+        expected = hmac.new(
+            self.keystore.signing_seed(signer), data, hashlib.sha256
+        ).digest()
+        supplied = token.for_receiver(receiver)
+        return (supplied is not None and hmac.compare_digest(expected, supplied)), cost
+
+
+class Ed25519Scheme(_DigitalSignatureScheme):
+    """ED25519 digital signatures — the paper's client-side default."""
+
+    name = SchemeName.ED25519
+    token_size_bytes = 64
+
+    def __init__(self, keystore, costs=DEFAULT_COSTS):
+        super().__init__(keystore, costs)
+        self._sign_ns = costs.ed25519_sign_ns
+        self._verify_ns = costs.ed25519_verify_ns
+
+
+class RsaScheme(_DigitalSignatureScheme):
+    """RSA-2048 digital signatures — dramatically slower to sign."""
+
+    name = SchemeName.RSA
+    token_size_bytes = 256
+
+    def __init__(self, keystore, costs=DEFAULT_COSTS):
+        super().__init__(keystore, costs)
+        self._sign_ns = costs.rsa_sign_ns
+        self._verify_ns = costs.rsa_verify_ns
+
+
+class CmacAesScheme(SignatureScheme):
+    """CMAC+AES pairwise MACs — the paper's replica-to-replica default.
+
+    Broadcast requires one MAC per receiver (cost O(n)) but each MAC is
+    cheap; no non-repudiation."""
+
+    name = SchemeName.CMAC_AES
+    token_size_bytes = 16
+    non_repudiation = False
+
+    def sign_cost(self, size_bytes: int, receivers: int = 1) -> int:
+        return self.costs.cmac_ns(size_bytes) * max(1, receivers)
+
+    def verify_cost(self, size_bytes: int) -> int:
+        return self.costs.cmac_ns(size_bytes)
+
+    def authenticate(self, data, signer, receivers):
+        receivers = list(receivers)
+        tokens: Dict[Optional[str], bytes] = {}
+        for receiver in receivers:
+            key = self.keystore.pair_key(signer, receiver)
+            tokens[receiver] = hmac.new(key, data, hashlib.sha256).digest()[:16]
+        return (
+            AuthToken(self.name, signer, tokens),
+            self.sign_cost(len(data), receivers=len(receivers)),
+        )
+
+    def check(self, data, token, signer, receiver):
+        cost = self.verify_cost(len(data))
+        if token is None or token.signer != signer:
+            return False, cost
+        supplied = token.for_receiver(receiver)
+        if supplied is None:
+            return False, cost
+        key = self.keystore.pair_key(signer, receiver)
+        expected = hmac.new(key, data, hashlib.sha256).digest()[:16]
+        return hmac.compare_digest(expected, supplied), cost
+
+
+_SCHEMES = {
+    SchemeName.NULL: NullScheme,
+    SchemeName.ED25519: Ed25519Scheme,
+    SchemeName.RSA: RsaScheme,
+    SchemeName.CMAC_AES: CmacAesScheme,
+}
+
+
+def make_scheme(
+    name: SchemeName, keystore: KeyStore, costs: CryptoCosts = DEFAULT_COSTS
+) -> SignatureScheme:
+    """Factory for the scheme named ``name``."""
+    try:
+        return _SCHEMES[SchemeName(name)](keystore, costs)
+    except KeyError:
+        raise ValueError(f"unknown signature scheme {name!r}") from None

@@ -1,0 +1,23 @@
+"""Simulated network: typed messages, NIC-level transport, fault injection.
+
+The transport charges every message both propagation latency and
+*serialisation time* on the sender's and receiver's NICs (size ÷ link
+bandwidth, each NIC a FIFO).  NIC occupancy is what makes the message-size
+experiment (Fig. 12) become network-bound — "the system reaches the network
+bound before any thread can computationally saturate" — and what makes
+quadratic-phase protocols pay for their fan-out.
+"""
+
+from repro.net.faults import FaultPlan
+from repro.net.message import Message, WIRE_HEADER_BYTES
+from repro.net.topology import Topology
+from repro.net.transport import Endpoint, Network
+
+__all__ = [
+    "Endpoint",
+    "FaultPlan",
+    "Message",
+    "Network",
+    "Topology",
+    "WIRE_HEADER_BYTES",
+]

@@ -1,0 +1,241 @@
+"""Binary wire codec for protocol messages.
+
+The simulation itself passes message objects by reference (serialising
+every message would only burn host CPU), but the wire-size model in each
+message's ``payload_bytes()`` needs grounding.  This codec actually
+encodes and decodes the protocol messages to compact binary frames so
+
+1. tests can assert that the modelled sizes track real encoded sizes, and
+2. downstream users get a concrete starting point for a networked port.
+
+Frame layout::
+
+    magic (2) | version (1) | kind tag (1) | sender len (2) | sender |
+    body (type-specific fields, little-endian) ...
+
+Strings are length-prefixed UTF-8; sequences are count-prefixed.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from repro.consensus.messages import (
+    Checkpoint,
+    ClientRequest,
+    ClientResponse,
+    Commit,
+    Prepare,
+    PrePrepare,
+    RequestBatch,
+)
+from repro.net.message import Message
+from repro.workloads.transactions import Operation, OpType, Transaction
+
+MAGIC = b"RD"  # two-byte frame magic
+VERSION = 1
+
+_KIND_TAGS = {
+    "client-request": 1,
+    "pre-prepare": 2,
+    "prepare": 3,
+    "commit": 4,
+    "client-response": 5,
+    "checkpoint": 6,
+}
+_TAG_KINDS = {tag: kind for kind, tag in _KIND_TAGS.items()}
+
+
+class CodecError(ValueError):
+    """Raised on malformed frames."""
+
+
+# ----------------------------------------------------------------------
+# primitives
+# ----------------------------------------------------------------------
+def _put_str(out: List[bytes], value: str) -> None:
+    raw = value.encode("utf-8")
+    out.append(struct.pack("<H", len(raw)))
+    out.append(raw)
+
+
+def _get_str(view: memoryview, offset: int) -> Tuple[str, int]:
+    (length,) = struct.unpack_from("<H", view, offset)
+    offset += 2
+    value = bytes(view[offset:offset + length]).decode("utf-8")
+    return value, offset + length
+
+
+def _put_u64(out: List[bytes], value: int) -> None:
+    out.append(struct.pack("<Q", value))
+
+
+def _get_u64(view: memoryview, offset: int) -> Tuple[int, int]:
+    (value,) = struct.unpack_from("<Q", view, offset)
+    return value, offset + 8
+
+
+# ----------------------------------------------------------------------
+# transactions
+# ----------------------------------------------------------------------
+def _put_txn(out: List[bytes], txn: Transaction) -> None:
+    _put_str(out, txn.client_id)
+    _put_u64(out, txn.padding_bytes)
+    out.append(struct.pack("<H", len(txn.ops)))
+    for op in txn.ops:
+        out.append(b"\x01" if op.op_type is OpType.WRITE else b"\x00")
+        _put_str(out, op.key)
+        _put_str(out, op.value or "")
+    # padding rides as literal zero bytes on a real wire
+    out.append(b"\x00" * txn.padding_bytes)
+
+
+def _get_txn(view: memoryview, offset: int) -> Tuple[Transaction, int]:
+    client_id, offset = _get_str(view, offset)
+    padding, offset = _get_u64(view, offset)
+    (op_count,) = struct.unpack_from("<H", view, offset)
+    offset += 2
+    ops = []
+    for _ in range(op_count):
+        is_write = view[offset] == 1
+        offset += 1
+        key, offset = _get_str(view, offset)
+        value, offset = _get_str(view, offset)
+        if is_write:
+            ops.append(Operation(OpType.WRITE, key, value))
+        else:
+            ops.append(Operation(OpType.READ, key))
+    offset += padding
+    return Transaction(client_id, tuple(ops), padding_bytes=padding), offset
+
+
+# ----------------------------------------------------------------------
+# message bodies
+# ----------------------------------------------------------------------
+def _encode_body(message: Message) -> List[bytes]:
+    out: List[bytes] = []
+    kind = message.kind
+    if kind == "client-request":
+        _put_u64(out, message.request_id)
+        out.append(struct.pack("<H", len(message.txns)))
+        for txn in message.txns:
+            _put_txn(out, txn)
+    elif kind == "pre-prepare":
+        _put_u64(out, message.view)
+        _put_u64(out, message.sequence)
+        _put_str(out, message.digest or "")
+        requests = message.request.requests
+        out.append(struct.pack("<H", len(requests)))
+        for request in requests:
+            _put_str(out, request.sender)
+            _put_u64(out, request.request_id)
+            out.append(struct.pack("<H", len(request.txns)))
+            for txn in request.txns:
+                _put_txn(out, txn)
+    elif kind in ("prepare", "commit"):
+        _put_u64(out, message.view)
+        _put_u64(out, message.sequence)
+        _put_str(out, message.digest or "")
+    elif kind == "client-response":
+        _put_u64(out, message.view)
+        _put_u64(out, message.sequence)
+        _put_str(out, message.result_digest)
+        out.append(struct.pack("<H", len(message.request_ids)))
+        for request_id in message.request_ids:
+            _put_u64(out, request_id)
+    elif kind == "checkpoint":
+        _put_u64(out, message.sequence)
+        _put_str(out, message.state_digest)
+        _put_u64(out, message.blocks_included)
+        out.append(b"\x00" * (message.blocks_included * message.block_bytes))
+    else:
+        raise CodecError(f"no codec for message kind {kind!r}")
+    return out
+
+
+def encode(message: Message) -> bytes:
+    """Serialise ``message`` to a binary frame."""
+    tag = _KIND_TAGS.get(message.kind)
+    if tag is None:
+        raise CodecError(f"no codec for message kind {message.kind!r}")
+    out: List[bytes] = [MAGIC, struct.pack("<BB", VERSION, tag)]
+    _put_str(out, message.sender)
+    out.extend(_encode_body(message))
+    return b"".join(out)
+
+
+def decode(frame: bytes) -> Message:
+    """Parse a frame back into a message object (auth tokens excluded —
+    they travel in the transport envelope, not the body)."""
+    view = memoryview(frame)
+    if bytes(view[:2]) != MAGIC:
+        raise CodecError("bad magic")
+    version, tag = struct.unpack_from("<BB", view, 2)
+    if version != VERSION:
+        raise CodecError(f"unsupported version {version}")
+    kind = _TAG_KINDS.get(tag)
+    if kind is None:
+        raise CodecError(f"unknown kind tag {tag}")
+    offset = 4
+    sender, offset = _get_str(view, offset)
+
+    if kind == "client-request":
+        request_id, offset = _get_u64(view, offset)
+        (txn_count,) = struct.unpack_from("<H", view, offset)
+        offset += 2
+        txns = []
+        for _ in range(txn_count):
+            txn, offset = _get_txn(view, offset)
+            txns.append(txn)
+        return ClientRequest(sender, request_id, tuple(txns))
+    if kind == "pre-prepare":
+        value_view = view
+        view_number, offset = _get_u64(value_view, offset)
+        sequence, offset = _get_u64(value_view, offset)
+        digest, offset = _get_str(value_view, offset)
+        (request_count,) = struct.unpack_from("<H", value_view, offset)
+        offset += 2
+        requests = []
+        for _ in range(request_count):
+            request_sender, offset = _get_str(value_view, offset)
+            request_id, offset = _get_u64(value_view, offset)
+            (txn_count,) = struct.unpack_from("<H", value_view, offset)
+            offset += 2
+            txns = []
+            for _ in range(txn_count):
+                txn, offset = _get_txn(value_view, offset)
+                txns.append(txn)
+            requests.append(ClientRequest(request_sender, request_id, tuple(txns)))
+        batch = RequestBatch(tuple(requests))
+        batch.digest = digest
+        return PrePrepare(sender, view_number, sequence, digest, batch)
+    if kind in ("prepare", "commit"):
+        view_number, offset = _get_u64(view, offset)
+        sequence, offset = _get_u64(view, offset)
+        digest, offset = _get_str(view, offset)
+        cls = Prepare if kind == "prepare" else Commit
+        return cls(sender, view_number, sequence, digest)
+    if kind == "client-response":
+        view_number, offset = _get_u64(view, offset)
+        sequence, offset = _get_u64(view, offset)
+        result_digest, offset = _get_str(view, offset)
+        (id_count,) = struct.unpack_from("<H", view, offset)
+        offset += 2
+        request_ids = []
+        for _ in range(id_count):
+            request_id, offset = _get_u64(view, offset)
+            request_ids.append(request_id)
+        return ClientResponse(
+            sender, tuple(request_ids), view_number, sequence, result_digest
+        )
+    # checkpoint
+    sequence, offset = _get_u64(view, offset)
+    state_digest, offset = _get_str(view, offset)
+    blocks_included, offset = _get_u64(view, offset)
+    return Checkpoint(sender, sequence, state_digest, blocks_included)
+
+
+def encoded_size(message: Message) -> int:
+    """Real encoded size in bytes (for validating the size model)."""
+    return len(encode(message))

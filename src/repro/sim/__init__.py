@@ -1,0 +1,58 @@
+"""Deterministic discrete-event simulation (DES) kernel.
+
+This package is the substrate on which the whole reproduction runs.  Real
+threads in Python cannot exhibit the behaviour the paper measures (the GIL
+serialises CPU-bound pipeline stages), so replicas, their pipeline threads,
+clients and the network are all modelled as coroutine *processes* scheduled
+on a simulated clock.  Simulated threads compete for simulated CPU cores,
+which is what lets the thread-saturation and core-count experiments
+(Figures 9 and 16 of the paper) reproduce on any host machine.
+
+Public surface:
+
+- :class:`~repro.sim.kernel.Simulator` — the event loop.
+- :class:`~repro.sim.process.Process` and the effect objects processes yield
+  (:class:`~repro.sim.events.Timeout`, :class:`~repro.sim.events.SimEvent`).
+- :class:`~repro.sim.queues.SimQueue` — FIFO channels between stages.
+- :class:`~repro.sim.resources.CpuScheduler` — simulated multi-core CPU with
+  per-thread busy-time accounting.
+- :mod:`~repro.sim.clock` — time-unit helpers (the clock is integer
+  nanoseconds).
+- :class:`~repro.sim.metrics.MetricsRegistry` — counters, histograms and
+  busy-time gauges with warmup-window resets.
+"""
+
+from repro.sim.clock import micros, millis, nanos, seconds, to_seconds
+from repro.sim.events import SimEvent, Timeout, TIMEOUT
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import (
+    BusyTracker,
+    Counter,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+from repro.sim.process import Process
+from repro.sim.queues import SimQueue
+from repro.sim.resources import CpuScheduler, Resource
+from repro.sim.rng import DeterministicRNG
+
+__all__ = [
+    "BusyTracker",
+    "Counter",
+    "CpuScheduler",
+    "DeterministicRNG",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "Process",
+    "Resource",
+    "SimEvent",
+    "SimQueue",
+    "Simulator",
+    "TIMEOUT",
+    "Timeout",
+    "micros",
+    "millis",
+    "nanos",
+    "seconds",
+    "to_seconds",
+]

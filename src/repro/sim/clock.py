@@ -1,0 +1,35 @@
+"""Time units for the simulated clock.
+
+The simulator clock is an integer count of nanoseconds.  Integers keep the
+event queue deterministic (no floating-point tie ambiguity) and give enough
+resolution to express sub-microsecond crypto costs exactly.
+"""
+
+NANOS_PER_MICRO = 1_000
+NANOS_PER_MILLI = 1_000_000
+NANOS_PER_SEC = 1_000_000_000
+
+
+def nanos(value: float) -> int:
+    """Convert a nanosecond quantity to clock ticks (identity, rounded)."""
+    return int(round(value))
+
+
+def micros(value: float) -> int:
+    """Convert microseconds to clock ticks."""
+    return int(round(value * NANOS_PER_MICRO))
+
+
+def millis(value: float) -> int:
+    """Convert milliseconds to clock ticks."""
+    return int(round(value * NANOS_PER_MILLI))
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to clock ticks."""
+    return int(round(value * NANOS_PER_SEC))
+
+
+def to_seconds(ticks: int) -> float:
+    """Convert clock ticks back to (float) seconds, for reporting."""
+    return ticks / NANOS_PER_SEC

@@ -1,0 +1,159 @@
+"""Measurement instruments for experiments.
+
+The paper's methodology is: warm the system up, then measure throughput and
+latency over a fixed window.  :class:`MetricsRegistry` supports that
+protocol directly — every instrument can be reset when the warmup window
+ends, and throughput is computed over the post-reset interval.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.sim.clock import NANOS_PER_SEC
+
+
+class Counter:
+    """A monotonically increasing event counter (resettable per window)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class LatencyHistogram:
+    """Collects latency samples (in clock ticks) and reports summary stats.
+
+    Samples are kept raw; experiments are short enough (≤ a few hundred
+    thousand samples) that exact percentiles are affordable and simpler
+    than HDR-style bucketing.
+    """
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: List[int] = []
+
+    def record(self, latency: int) -> None:
+        self.samples.append(latency)
+
+    def reset(self) -> None:
+        self.samples = []
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean_seconds(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples) / NANOS_PER_SEC
+
+    def percentile_seconds(self, pct: float) -> float:
+        """Exact percentile (nearest-rank) in seconds; 0.0 when empty."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 < pct <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {pct}")
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+        return ordered[rank - 1] / NANOS_PER_SEC
+
+    def max_seconds(self) -> float:
+        return max(self.samples) / NANOS_PER_SEC if self.samples else 0.0
+
+
+class BusyTracker:
+    """Accumulates busy time for a named activity outside the CPU scheduler
+    (e.g. NIC occupancy), with the same window semantics."""
+
+    __slots__ = ("name", "busy_ns")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.busy_ns = 0
+
+    def add(self, ticks: int) -> None:
+        self.busy_ns += ticks
+
+    def reset(self) -> None:
+        self.busy_ns = 0
+
+    def utilisation(self, window_ns: int) -> float:
+        return min(1.0, self.busy_ns / window_ns) if window_ns > 0 else 0.0
+
+
+class MetricsRegistry:
+    """All instruments for one simulation, plus the measurement window.
+
+    ``begin_measurement()`` is called when warmup ends: it resets every
+    instrument and stamps the window start, after which
+    :meth:`throughput_per_second` divides counters by elapsed measured time.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.counters: Dict[str, Counter] = {}
+        self.histograms: Dict[str, LatencyHistogram] = {}
+        self.busy: Dict[str, BusyTracker] = {}
+        self.window_start: int = 0
+        self._resettables: List = []
+
+    # ------------------------------------------------------------------
+    # instrument factories (idempotent by name)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        if name not in self.histograms:
+            self.histograms[name] = LatencyHistogram(name)
+        return self.histograms[name]
+
+    def busy_tracker(self, name: str) -> BusyTracker:
+        if name not in self.busy:
+            self.busy[name] = BusyTracker(name)
+        return self.busy[name]
+
+    def register_resettable(self, obj) -> None:
+        """Attach any object exposing ``reset_window()`` (e.g. a
+        :class:`~repro.sim.resources.CpuScheduler`) to the warmup reset."""
+        self._resettables.append(obj)
+
+    # ------------------------------------------------------------------
+    # window protocol
+    # ------------------------------------------------------------------
+    def begin_measurement(self) -> None:
+        for counter in self.counters.values():
+            counter.reset()
+        for histogram in self.histograms.values():
+            histogram.reset()
+        for tracker in self.busy.values():
+            tracker.reset()
+        for obj in self._resettables:
+            obj.reset_window()
+        self.window_start = self.sim.now
+
+    def window_ns(self, end: Optional[int] = None) -> int:
+        return (self.sim.now if end is None else end) - self.window_start
+
+    def throughput_per_second(self, counter_name: str) -> float:
+        window = self.window_ns()
+        if window <= 0:
+            return 0.0
+        return self.counters[counter_name].value * NANOS_PER_SEC / window

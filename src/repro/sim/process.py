@@ -1,0 +1,80 @@
+"""Coroutine processes driven by the simulator.
+
+A process wraps a generator.  Every value the generator yields is an
+*effect* (see :mod:`repro.sim.events`); the kernel arranges for the process
+to be resumed when the effect completes, delivering the effect's result as
+the value of the ``yield`` expression.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+
+class ProcessFailure(RuntimeError):
+    """Wraps an exception that escaped a simulation process."""
+
+    def __init__(self, process_name: str, original: BaseException):
+        super().__init__(f"process {process_name!r} failed: {original!r}")
+        self.original = original
+
+
+class Process:
+    """A running simulation process.
+
+    Yield a ``Process`` from another process to *join* it — the joiner is
+    resumed with the joined process's return value when it finishes.
+    """
+
+    __slots__ = ("sim", "generator", "name", "completion", "finished", "result")
+
+    def __init__(self, sim, generator: Generator, name: str = ""):
+        from repro.sim.events import SimEvent
+
+        self.sim = sim
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.completion = SimEvent(sim)
+        self.finished = False
+        self.result: Any = None
+
+    def resume(self, value: Any) -> None:
+        """Advance the generator one step; dispatch the next effect."""
+        if self.finished:
+            return
+        try:
+            effect = self.generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Exception as exc:
+            self._finish_error(exc)
+            return
+        self._dispatch(effect)
+
+    def _dispatch(self, effect: Any) -> None:
+        from repro.sim.events import SimEvent, Timeout
+
+        if isinstance(effect, int):
+            self.sim.schedule(effect, self.resume, None)
+        elif isinstance(effect, (Timeout, SimEvent)):
+            effect._bind(self.sim, self)
+        elif isinstance(effect, Process):
+            effect.completion._bind(self.sim, self)
+        elif hasattr(effect, "_bind"):
+            effect._bind(self.sim, self)
+        else:
+            self._finish_error(
+                TypeError(f"process {self.name!r} yielded non-effect {effect!r}")
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        self.generator.close()
+        self.completion.trigger(result)
+
+    def _finish_error(self, exc: BaseException) -> None:
+        self.finished = True
+        self.generator.close()
+        raise ProcessFailure(self.name, exc) from exc

@@ -1,0 +1,231 @@
+"""FIFO channels connecting pipeline stages.
+
+:class:`SimQueue` is the simulated analogue of the lock-free queues that
+ResilientDB places between its pipeline threads.  The paper's design uses a
+*common* work queue shared by several batch-threads so that "any enqueued
+request is consumed as soon as any batch-thread is available" (§4.3) —
+``SimQueue`` supports exactly that: multiple consumers blocked in
+``get()`` are served in FIFO order as items arrive.
+
+Queues track occupancy statistics so experiments can report queueing delay
+(the dominant latency term in the client-scaling experiment, Fig. 15).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, Optional
+
+
+class _Getter:
+    """A parked consumer; ``active`` is cleared if its timeout fires first."""
+
+    __slots__ = ("process", "active")
+
+    def __init__(self, process):
+        self.process = process
+        self.active = True
+
+
+class _QueueGet:
+    """Effect: wait until an item is available, resume with the item.
+
+    With ``timeout`` set, resume with :data:`repro.sim.events.TIMEOUT`
+    instead if nothing arrives within that many ticks.
+    """
+
+    __slots__ = ("queue", "timeout")
+
+    def __init__(self, queue: "SimQueue", timeout: Optional[int] = None):
+        self.queue = queue
+        self.timeout = timeout
+
+    def _bind(self, sim, process) -> None:
+        queue = self.queue
+        if queue._items:
+            item = queue._take(sim)
+            queue._wake_putters(sim)
+            sim.schedule(0, process.resume, item)
+            return
+        getter = _Getter(process)
+        queue._getters.append(getter)
+        if self.timeout is not None:
+            from repro.sim.events import TIMEOUT
+
+            def _expire() -> None:
+                if getter.active:
+                    getter.active = False
+                    process.resume(TIMEOUT)
+
+            sim.schedule(self.timeout, _expire)
+
+
+class _QueuePut:
+    """Effect: wait until capacity is available, then enqueue."""
+
+    __slots__ = ("queue", "item")
+
+    def __init__(self, queue: "SimQueue", item: Any):
+        self.queue = queue
+        self.item = item
+
+    def _bind(self, sim, process) -> None:
+        queue = self.queue
+        if queue.capacity is None or len(queue._items) < queue.capacity:
+            queue._enqueue(sim, self.item)
+            sim.schedule(0, process.resume, None)
+        else:
+            queue._putters.append((process, self.item))
+
+
+class SimQueue:
+    """An (optionally bounded) FIFO queue usable from simulation processes.
+
+    - ``yield queue.get()`` blocks the process until an item arrives.
+    - ``queue.put_nowait(item)`` enqueues immediately (unbounded queues, or
+      producer code running outside a process, e.g. network delivery).
+    - ``yield queue.put(item)`` blocks when the queue is bounded and full,
+      providing back-pressure.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "capacity",
+        "_items",
+        "_getters",
+        "_putters",
+        "enqueued_total",
+        "dequeued_total",
+        "max_depth",
+        "total_wait",
+    )
+
+    def __init__(self, sim, name: str = "queue", capacity: Optional[int] = None):
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque = deque()
+        self._getters: Deque = deque()
+        self._putters: Deque = deque()
+        self.enqueued_total = 0
+        self.dequeued_total = 0
+        self.max_depth = 0
+        self.total_wait = 0
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def put_nowait(self, item: Any) -> None:
+        """Enqueue without blocking (raises if a bounded queue is full)."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise OverflowError(f"queue {self.name!r} full (capacity={self.capacity})")
+        self._enqueue(self.sim, item)
+
+    def put(self, item: Any) -> _QueuePut:
+        """Effect for blocking puts (back-pressure on bounded queues)."""
+        return _QueuePut(self, item)
+
+    def _enqueue(self, sim, item: Any) -> None:
+        self.enqueued_total += 1
+        getter = self._pop_active_getter()
+        if getter is not None:
+            self._record_dequeue(0)
+            sim.schedule(0, getter.process.resume, item)
+        else:
+            self._items.append((item, sim.now))
+            if len(self._items) > self.max_depth:
+                self.max_depth = len(self._items)
+
+    def _pop_active_getter(self):
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.active:
+                getter.active = False
+                return getter
+        return None
+
+    def _wake_putters(self, sim) -> None:
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            process, item = self._putters.popleft()
+            self._enqueue(sim, item)
+            sim.schedule(0, process.resume, None)
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def get(self, timeout: Optional[int] = None) -> _QueueGet:
+        """Effect for blocking gets; with ``timeout``, the waiter is
+        resumed with :data:`~repro.sim.events.TIMEOUT` if nothing arrives
+        in time (used by batch-threads' fill deadline)."""
+        return _QueueGet(self, timeout)
+
+    def get_nowait(self) -> Any:
+        """Dequeue immediately; raises IndexError when empty."""
+        item = self._take(self.sim)
+        self._wake_putters(self.sim)
+        return item
+
+    def _take(self, sim) -> Any:
+        """Remove and return the next item, recording its queueing delay."""
+        item, enq_time = self._items.popleft()
+        self._record_dequeue(sim.now - enq_time)
+        return item
+
+    def _record_dequeue(self, wait: int) -> None:
+        self.dequeued_total += 1
+        self.total_wait += wait
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean ticks an item spent queued before being consumed."""
+        return self.total_wait / self.dequeued_total if self.dequeued_total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimQueue({self.name!r}, depth={len(self._items)})"
+
+
+class SimPriorityQueue(SimQueue):
+    """A SimQueue that serves lower-priority-number items first.
+
+    Ties preserve insertion order, so same-priority traffic stays FIFO.
+    Used by the degenerate 0B pipeline, where one worker both batches
+    client requests and votes: protocol messages must not drown behind a
+    deep backlog of unverified client requests, or the replica never
+    commits anything.
+    """
+
+    __slots__ = ("_counter",)
+
+    def __init__(self, sim, name: str = "pqueue", capacity: Optional[int] = None):
+        super().__init__(sim, name, capacity)
+        self._items = []  # heap of (priority, tie, item, enqueued_at)
+        self._counter = 0
+
+    def put_nowait(self, item: Any, priority: int = 0) -> None:
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise OverflowError(f"queue {self.name!r} full (capacity={self.capacity})")
+        self.enqueued_total += 1
+        getter = self._pop_active_getter()
+        if getter is not None:
+            self._record_dequeue(0)
+            self.sim.schedule(0, getter.process.resume, item)
+            return
+        self._counter += 1
+        heapq.heappush(self._items, (priority, self._counter, item, self.sim.now))
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
+
+    def _take(self, sim) -> Any:
+        _priority, _tie, item, enqueued_at = heapq.heappop(self._items)
+        self._record_dequeue(sim.now - enqueued_at)
+        return item

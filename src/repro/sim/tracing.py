@@ -1,0 +1,98 @@
+"""Structured event tracing for debugging simulations.
+
+A :class:`Tracer` collects typed, timestamped records (protocol events,
+queue transitions, executions) into a bounded ring.  Deterministic runs
+plus traces make failures replayable: re-run with the same seed, diff the
+traces, find the first divergence.
+
+Tracing is opt-in and costs nothing when disabled (the ``enabled`` check
+is a single attribute read; hot paths guard on it).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    at: int  # simulation ticks
+    node: str
+    category: str  # e.g. "send", "deliver", "commit", "execute"
+    detail: str
+
+    def format(self) -> str:
+        return f"[{self.at:>15}] {self.node:<12} {self.category:<10} {self.detail}"
+
+
+class Tracer:
+    """Bounded in-memory trace buffer with category filters."""
+
+    def __init__(self, capacity: int = 100_000, enabled: bool = True):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._categories: Optional[set] = None
+        self.dropped = 0
+
+    def limit_to(self, categories: Iterable[str]) -> None:
+        """Record only the given categories (None = everything)."""
+        self._categories = set(categories)
+
+    def record(self, at: int, node: str, category: str, detail: str) -> None:
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(TraceRecord(at, node, category, detail))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def records(
+        self,
+        node: Optional[str] = None,
+        category: Optional[str] = None,
+        since: int = 0,
+    ) -> List[TraceRecord]:
+        return [
+            record
+            for record in self._records
+            if (node is None or record.node == node)
+            and (category is None or record.category == category)
+            and record.at >= since
+        ]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def counts_by_category(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            counts[record.category] = counts.get(record.category, 0) + 1
+        return counts
+
+    def dump(self, limit: int = 200) -> str:
+        """The last ``limit`` records, formatted for reading."""
+        tail = list(self._records)[-limit:]
+        return "\n".join(record.format() for record in tail)
+
+    @staticmethod
+    def first_divergence(
+        ours: List[TraceRecord], theirs: List[TraceRecord]
+    ) -> Optional[int]:
+        """Index of the first differing record between two traces (the
+        replay-debugging primitive), or None if one is a prefix of the
+        other."""
+        for index, (a, b) in enumerate(zip(ours, theirs)):
+            if a != b:
+                return index
+        return None

@@ -1,0 +1,63 @@
+"""Checkpoint bookkeeping (§4.7).
+
+A replica sends a ``Checkpoint`` message after executing every Δ requests;
+when it has collected 2f+1 *identical* checkpoint messages from distinct
+replicas for a sequence number, that checkpoint becomes **stable** and all
+data before the *previous* stable checkpoint may be garbage-collected.
+
+The store tracks per-sequence vote sets keyed by state digest (identical
+means same sequence *and* same digest — a diverging replica's vote must not
+count toward stability).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+
+class CheckpointStore:
+    """Collects checkpoint votes and reports stability / GC horizons."""
+
+    def __init__(self, quorum_size: int, interval: int):
+        if interval <= 0:
+            raise ValueError(f"checkpoint interval must be > 0, got {interval}")
+        self.quorum_size = quorum_size
+        self.interval = interval
+        #: (sequence, digest) -> set of voter ids
+        self._votes: Dict[Tuple[int, str], Set[str]] = {}
+        self.stable_sequence: int = 0
+        self._previous_stable: int = 0
+
+    def is_checkpoint_sequence(self, sequence: int) -> bool:
+        """True when a replica should emit a checkpoint after ``sequence``."""
+        return sequence > 0 and sequence % self.interval == 0
+
+    def record_vote(self, sequence: int, digest: str, voter: str) -> bool:
+        """Record one replica's checkpoint message.
+
+        Returns True when this vote makes the checkpoint newly stable.
+        """
+        if sequence <= self.stable_sequence:
+            return False
+        voters = self._votes.setdefault((sequence, digest), set())
+        voters.add(voter)
+        if len(voters) >= self.quorum_size:
+            self._previous_stable = self.stable_sequence
+            self.stable_sequence = sequence
+            # every vote set at or below the new stable horizon is moot
+            self._votes = {
+                key: value for key, value in self._votes.items() if key[0] > sequence
+            }
+            return True
+        return False
+
+    def gc_horizon(self) -> int:
+        """Sequence number before which requests/messages/blocks may be
+        discarded — "clears all the data before the previous checkpoint"."""
+        return self._previous_stable
+
+    def votes_for(self, sequence: int, digest: str) -> int:
+        return len(self._votes.get((sequence, digest), ()))
+
+    def pending_checkpoints(self) -> int:
+        return len(self._votes)

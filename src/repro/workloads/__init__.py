@@ -1,0 +1,23 @@
+"""Workload generation: YCSB tables, Zipfian keys, client transactions.
+
+The paper's evaluation drives every experiment with YCSB [11]: each client
+transaction indexes a 600K-record table, requests are write-only ("a
+majority of blockchain requests are updates to the existing data", §5.1),
+and keys are drawn from a Zipfian distribution.  Experiments additionally
+vary operations-per-transaction (Fig. 11) and add integer payload padding
+to grow the request size (Fig. 12).
+"""
+
+from repro.workloads.transactions import Operation, OpType, Transaction
+from repro.workloads.ycsb import YCSBWorkload, YCSB_DEFAULT_RECORDS
+from repro.workloads.zipf import UniformGenerator, ZipfianGenerator
+
+__all__ = [
+    "Operation",
+    "OpType",
+    "Transaction",
+    "UniformGenerator",
+    "YCSBWorkload",
+    "YCSB_DEFAULT_RECORDS",
+    "ZipfianGenerator",
+]

@@ -1,0 +1,79 @@
+"""Tests for the analysis helpers."""
+
+import pytest
+
+from repro.bench.analysis import (
+    compare_figures,
+    crossover,
+    degradation,
+    peak,
+    speedup,
+    to_markdown,
+)
+from repro.bench.report import FigureResult, Series, SeriesPoint
+
+
+def make_series(name, values, xs=None):
+    series = Series(name)
+    xs = xs or list(range(len(values)))
+    series.points = [
+        SeriesPoint(x=x, throughput_txns_per_s=value, latency_s=0.01)
+        for x, value in zip(xs, values)
+    ]
+    return series
+
+
+def test_speedup():
+    series = make_series("s", [100.0, 250.0], xs=["a", "b"])
+    assert speedup(series, "a", "b") == pytest.approx(2.5)
+    with pytest.raises(KeyError):
+        speedup(series, "a", "ghost")
+
+
+def test_speedup_zero_baseline_rejected():
+    series = make_series("s", [0.0, 10.0], xs=["a", "b"])
+    with pytest.raises(ValueError):
+        speedup(series, "a", "b")
+
+
+def test_crossover():
+    slow = make_series("slow", [100, 100, 100])
+    rising = make_series("rising", [50, 100, 150])
+    assert crossover(slow, rising) == 2
+    flat = make_series("flat", [10, 10, 10])
+    assert crossover(slow, flat) is None
+
+
+def test_peak_and_degradation():
+    series = make_series("s", [10.0, 80.0, 40.0])
+    assert peak(series) == (1, 80.0)
+    assert degradation(series) == pytest.approx(0.5)
+    monotone = make_series("m", [10.0, 20.0, 30.0])
+    assert degradation(monotone) == pytest.approx(0.0)
+
+
+def test_to_markdown():
+    figure = FigureResult(
+        "figX", "a title", "replicas", [make_series("PBFT", [100_000.0])]
+    )
+    figure.note("hello")
+    markdown = to_markdown(figure)
+    assert "### figX" in markdown
+    assert "| replicas | PBFT |" in markdown
+    assert "100.0K" in markdown
+    assert "> hello" in markdown
+
+
+def test_compare_figures_flags_deviations():
+    ours = FigureResult("f", "t", "x", [make_series("s", [100.0, 200.0])])
+    reference = FigureResult("f", "t", "x", [make_series("s", [100.0, 100.0])])
+    problems = compare_figures(ours, reference, tolerance=0.25)
+    assert len(problems) == 1 and "2.00x" in problems[0]
+    assert compare_figures(ours, ours) == []
+
+
+def test_compare_figures_missing_series():
+    ours = FigureResult("f", "t", "x", [make_series("new", [1.0])])
+    reference = FigureResult("f", "t", "x", [make_series("old", [1.0])])
+    problems = compare_figures(ours, reference)
+    assert "missing" in problems[0]

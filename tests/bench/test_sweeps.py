@@ -1,0 +1,49 @@
+"""Tests for generic parameter sweeps."""
+
+import pytest
+
+from repro.bench.runner import base_config
+from repro.bench.sweeps import grid, sweep
+from repro.sim.clock import millis
+
+
+@pytest.fixture
+def tiny():
+    return base_config(
+        num_replicas=4,
+        num_clients=48,
+        client_groups=4,
+        batch_size=6,
+        ycsb_records=300,
+        warmup=millis(30),
+        measure=millis(60),
+    )
+
+
+def test_sweep_produces_one_point_per_value(tiny):
+    series = sweep("batch_size", [4, 8], base=tiny)
+    assert series.xs() == [4, 8]
+    assert all(point.throughput_txns_per_s > 0 for point in series.points)
+    assert "messages" in series.points[0].extra
+
+
+def test_sweep_unknown_parameter_rejected(tiny):
+    with pytest.raises(AttributeError):
+        sweep("warp_factor", [1, 2], base=tiny)
+
+
+def test_sweep_custom_name(tiny):
+    series = sweep("num_clients", [32], base=tiny, name="clients")
+    assert series.name == "clients"
+
+
+def test_grid_cartesian_product(tiny):
+    configs = grid({"batch_size": [4, 8], "num_replicas": [4, 7]}, base=tiny)
+    assert len(configs) == 4
+    combos = {(config.batch_size, config.num_replicas) for config in configs}
+    assert combos == {(4, 4), (4, 7), (8, 4), (8, 7)}
+
+
+def test_grid_unknown_parameter_rejected(tiny):
+    with pytest.raises(AttributeError):
+        grid({"nope": [1]}, base=tiny)

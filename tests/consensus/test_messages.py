@@ -1,0 +1,132 @@
+"""Tests for protocol message types: sizes, signable fields, batches."""
+
+import pytest
+
+from repro.consensus.messages import (
+    Checkpoint,
+    ClientRequest,
+    ClientResponse,
+    Commit,
+    CommitCertificate,
+    LocalCommit,
+    NewView,
+    OrderRequest,
+    Prepare,
+    PrePrepare,
+    RequestBatch,
+    SpecResponse,
+    ViewChange,
+    make_null_batch,
+)
+from repro.net.message import WIRE_HEADER_BYTES
+from repro.workloads import Operation, OpType, Transaction
+
+
+def make_request(txns=2, padding=0):
+    return ClientRequest(
+        "client0",
+        7,
+        tuple(
+            Transaction(
+                "client0",
+                (Operation(OpType.WRITE, f"key{i}", "value"),),
+                padding_bytes=padding,
+            )
+            for i in range(txns)
+        ),
+    )
+
+
+def test_client_request_size_scales_with_txns():
+    small = make_request(txns=1)
+    large = make_request(txns=10)
+    assert large.wire_bytes() > small.wire_bytes()
+    assert small.wire_bytes() > WIRE_HEADER_BYTES
+
+
+def test_client_request_size_includes_padding():
+    plain = make_request(txns=1)
+    padded = make_request(txns=1, padding=1000)
+    assert padded.wire_bytes() == plain.wire_bytes() + 1000
+
+
+def test_preprepare_carries_request_weight():
+    request = make_request(txns=5)
+    batch = RequestBatch((request,))
+    batch.digest = "d"
+    preprepare = PrePrepare("r0", 0, 1, "d", batch)
+    assert preprepare.wire_bytes() > batch.payload_bytes()
+
+
+def test_vote_messages_are_small_and_fixed():
+    prepare = Prepare("r1", 0, 1, "d" * 64)
+    commit = Commit("r1", 0, 1, "d" * 64)
+    assert prepare.wire_bytes() == commit.wire_bytes()
+    assert prepare.wire_bytes() < 250
+
+
+def test_checkpoint_size_scales_with_blocks():
+    small = Checkpoint("r0", 100, "digest", blocks_included=10)
+    large = Checkpoint("r0", 200, "digest", blocks_included=100)
+    assert large.wire_bytes() > small.wire_bytes()
+
+
+def test_signable_fields_distinguish_kind_and_content():
+    prepare = Prepare("r1", 0, 1, "d")
+    commit = Commit("r1", 0, 1, "d")
+    assert prepare.signable_bytes() != commit.signable_bytes()
+    other_view = Prepare("r1", 1, 1, "d")
+    assert prepare.signable_bytes() != other_view.signable_bytes()
+    other_sender = Prepare("r2", 0, 1, "d")
+    assert prepare.signable_bytes() != other_sender.signable_bytes()
+
+
+def test_batch_bytes_varies_with_content():
+    one = RequestBatch((make_request(txns=1),))
+    two = RequestBatch((make_request(txns=2),))
+    assert one.batch_bytes() != two.batch_bytes()
+
+
+def test_response_coalesces_request_ids():
+    response = ClientResponse("r0", (1, 2, 3), 0, 9, "result")
+    assert response.request_ids == (1, 2, 3)
+    single = ClientResponse("r0", (1,), 0, 9, "result")
+    assert response.wire_bytes() > single.wire_bytes()
+
+
+def test_spec_response_matching_key_fields():
+    response = SpecResponse("r0", (1,), 0, 9, "result", "history")
+    fields = response.signable_fields()
+    assert "history" in fields and "result" in fields
+
+
+def test_view_change_and_new_view_sizes():
+    view_change = ViewChange("r1", 1, 0, ((1, "d1"), (2, "d2")))
+    assert view_change.wire_bytes() > ViewChange("r1", 1, 0, ()).wire_bytes()
+    new_view = NewView("r1", 1, ("r0", "r1", "r2"), ((1, "d1"),))
+    assert new_view.wire_bytes() > WIRE_HEADER_BYTES
+
+
+def test_commit_certificate_and_local_commit():
+    certificate = CommitCertificate("client0", 0, 5, "result", ("r0", "r1", "r2"))
+    assert certificate.wire_bytes() > LocalCommit("r0", 0, 5).wire_bytes()
+
+
+def test_order_request_includes_history():
+    request = make_request()
+    batch = RequestBatch((request,))
+    batch.digest = "d"
+    order = OrderRequest("r0", 0, 1, "d", "h1", batch)
+    assert "h1" in order.signable_fields()
+
+
+def test_message_ids_unique():
+    first = Prepare("r1", 0, 1, "d")
+    second = Prepare("r1", 0, 1, "d")
+    assert first.msg_id != second.msg_id
+
+
+def test_null_batch_is_empty_and_cheap():
+    batch = make_null_batch()
+    assert batch.payload_bytes() == 16
+    assert batch.txn_count == 0

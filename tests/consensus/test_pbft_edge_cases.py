@@ -1,0 +1,117 @@
+"""Additional PBFT edge cases: message races the pipeline can produce."""
+
+import pytest
+
+from repro.consensus import PbftReplica, QuorumConfig
+from repro.consensus.base import Broadcast, ExecuteReady
+from repro.consensus.messages import Commit, Prepare, PrePrepare
+
+from tests.consensus.harness import make_request
+
+
+def build(rid="r1", n=4):
+    quorum = QuorumConfig.for_replicas(n)
+    ids = tuple(f"r{i}" for i in range(n))
+    return PbftReplica(rid, ids, quorum)
+
+
+def test_votes_before_preprepare_still_commit():
+    """§4.3's race: a replica can receive Prepare and even Commit messages
+    for a sequence before the primary's Pre-prepare reaches it."""
+    replica = build()
+    request = make_request("c", 1)
+    replica.handle_prepare(Prepare("r2", 0, 1, request.digest))
+    replica.handle_prepare(Prepare("r3", 0, 1, request.digest))
+    replica.handle_commit(Commit("r2", 0, 1, request.digest))
+    replica.handle_commit(Commit("r3", 0, 1, request.digest))
+    assert not replica.slots[1].committed  # no pre-prepare yet
+    actions = replica.handle_preprepare(
+        PrePrepare("r0", 0, 1, request.digest, request)
+    )
+    # catching up: prepare broadcast, commit broadcast, and execution all
+    # cascade from the one delayed pre-prepare
+    kinds = [type(action).__name__ for action in actions]
+    assert "ExecuteReady" in kinds
+    assert replica.slots[1].committed
+
+
+def test_commit_before_prepared_counts_later():
+    replica = build()
+    request = make_request("c", 1)
+    replica.handle_preprepare(PrePrepare("r0", 0, 1, request.digest, request))
+    # commits from two peers arrive before any prepares
+    replica.handle_commit(Commit("r2", 0, 1, request.digest))
+    replica.handle_commit(Commit("r3", 0, 1, request.digest))
+    assert not replica.slots[1].committed
+    # one prepare completes the prepare quorum -> own commit -> 2f+1 total
+    actions = replica.handle_prepare(Prepare("r2", 0, 1, request.digest))
+    assert any(isinstance(action, ExecuteReady) for action in actions)
+
+
+def test_execute_emitted_exactly_once():
+    replica = build()
+    request = make_request("c", 1)
+    replica.handle_preprepare(PrePrepare("r0", 0, 1, request.digest, request))
+    replica.handle_prepare(Prepare("r2", 0, 1, request.digest))
+    replica.handle_commit(Commit("r2", 0, 1, request.digest))
+    first = replica.handle_commit(Commit("r0", 0, 1, request.digest))
+    assert any(isinstance(action, ExecuteReady) for action in first)
+    # further commits change nothing
+    again = replica.handle_commit(Commit("r3", 0, 1, request.digest))
+    assert not any(isinstance(action, ExecuteReady) for action in again)
+
+
+def test_primary_cannot_propose_same_sequence_twice():
+    primary = build("r0")
+    request = make_request("c", 1)
+    primary.make_preprepare(1, request.digest, request)
+    with pytest.raises(RuntimeError):
+        primary.make_preprepare(1, request.digest, request)
+
+
+def test_primary_cannot_propose_during_view_change():
+    primary = build("r0")
+    primary.in_view_change = True
+    with pytest.raises(RuntimeError):
+        primary.make_preprepare(1, "d", make_request("c", 1))
+
+
+def test_backup_cannot_propose():
+    backup = build("r2")
+    with pytest.raises(RuntimeError):
+        backup.make_preprepare(1, "d", make_request("c", 1))
+
+
+def test_commit_proof_capped_at_quorum_size():
+    replica = build(n=7)
+    request = make_request("c", 1)
+    replica.handle_preprepare(PrePrepare("r0", 0, 1, request.digest, request))
+    for peer in ("r2", "r3", "r4", "r5"):
+        replica.handle_prepare(Prepare(peer, 0, 1, request.digest))
+    execute = None
+    for peer in ("r2", "r3", "r4", "r5", "r6", "r0"):
+        for action in replica.handle_commit(Commit(peer, 0, 1, request.digest)):
+            if isinstance(action, ExecuteReady):
+                execute = action
+    assert execute is not None
+    assert len(execute.commit_proof) == replica.quorum.commit_quorum
+
+
+def test_suspect_primary_idempotent_during_view_change():
+    replica = build()
+    first = replica.suspect_primary()
+    assert any(isinstance(action, Broadcast) for action in first)
+    assert replica.in_view_change
+    assert replica.suspect_primary() == []
+
+
+def test_rejoining_via_f_plus_1_votes_uses_highest_view():
+    from repro.consensus.messages import ViewChange
+
+    replica = build(n=4)
+    # f+1 = 2 peers vote for view 3 straight away
+    replica.handle_view_change(ViewChange("r2", 3, 0, ()))
+    actions = replica.handle_view_change(ViewChange("r3", 3, 0, ()))
+    assert replica.in_view_change
+    votes = replica._view_change_votes[3]
+    assert replica.replica_id in votes  # joined the later view directly

@@ -1,0 +1,46 @@
+"""Tests for quorum arithmetic."""
+
+import pytest
+
+from repro.consensus import QuorumConfig
+
+
+def test_for_replicas_max_faults():
+    assert QuorumConfig.for_replicas(4).f == 1
+    assert QuorumConfig.for_replicas(7).f == 2
+    assert QuorumConfig.for_replicas(16).f == 5
+    assert QuorumConfig.for_replicas(32).f == 10
+
+
+def test_quorum_sizes_for_n16():
+    quorum = QuorumConfig.for_replicas(16)
+    assert quorum.prepare_quorum == 10
+    assert quorum.commit_quorum == 11
+    assert quorum.checkpoint_quorum == 11
+    assert quorum.client_response_quorum == 6
+    assert quorum.fast_path_quorum == 16
+    assert quorum.certificate_quorum == 11
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        QuorumConfig(n=3, f=1)
+    with pytest.raises(ValueError):
+        QuorumConfig(n=4, f=-1)
+    with pytest.raises(ValueError):
+        QuorumConfig.for_replicas(3)
+
+
+def test_n_greater_than_3f_plus_1_allowed():
+    # quorums generalise to ceil((n+f+1)/2) so two commit quorums always
+    # intersect in f+1 replicas even when n > 3f+1
+    quorum = QuorumConfig(n=10, f=2)
+    assert quorum.commit_quorum == 7
+    assert 2 * quorum.commit_quorum - quorum.n >= quorum.f + 1
+
+
+def test_fast_path_exceeds_commit_quorum():
+    for n in (4, 7, 16, 32):
+        quorum = QuorumConfig.for_replicas(n)
+        assert quorum.fast_path_quorum == n
+        assert quorum.fast_path_quorum > quorum.commit_quorum

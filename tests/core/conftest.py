@@ -1,0 +1,20 @@
+"""Shared fixtures for full-system tests: small, fast deployments."""
+
+import pytest
+
+from repro.core import SystemConfig
+from repro.sim.clock import millis
+
+
+@pytest.fixture
+def small_config():
+    """A fast 4-replica deployment used by most system tests."""
+    return SystemConfig(
+        num_replicas=4,
+        num_clients=64,
+        client_groups=4,
+        batch_size=8,
+        ycsb_records=500,
+        warmup=millis(50),
+        measure=millis(100),
+    )

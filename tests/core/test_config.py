@@ -1,0 +1,65 @@
+"""Tests for SystemConfig validation and derived quantities."""
+
+import pytest
+
+from repro.core import SystemConfig
+from repro.crypto.schemes import SchemeName
+
+
+def test_defaults_match_paper_standard_setup():
+    config = SystemConfig()
+    assert config.protocol == "pbft"
+    assert config.batch_size == 100
+    assert config.checkpoint_txns == 10_000
+    assert config.client_scheme is SchemeName.ED25519
+    assert config.replica_scheme is SchemeName.CMAC_AES
+    assert config.storage_backend == "memory"
+    assert config.cores_per_replica == 8
+    assert config.batch_threads == 2
+    assert config.execute_threads == 1
+
+
+def test_f_derivation():
+    assert SystemConfig(num_replicas=4).f == 1
+    assert SystemConfig(num_replicas=16).f == 5
+    assert SystemConfig(num_replicas=32).f == 10
+    assert SystemConfig(num_replicas=16, faults_tolerated=2).f == 2
+
+
+def test_checkpoint_period_in_batches():
+    assert SystemConfig(batch_size=100, checkpoint_txns=10_000).checkpoint_batches == 100
+    assert SystemConfig(batch_size=1, checkpoint_txns=10_000).checkpoint_batches == 10_000
+    # huge batches never divide to zero
+    assert SystemConfig(batch_size=20_000, checkpoint_txns=10_000).checkpoint_batches == 1
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"protocol": "raft"},
+        {"num_replicas": 3},
+        {"batch_size": 0},
+        {"num_clients": 0},
+        {"client_groups": 0},
+        {"client_groups": 100, "num_clients": 50},
+        {"storage_backend": "rocksdb"},
+        {"input_threads": 0},
+        {"output_threads": 0},
+        {"batch_threads": -1},
+        {"execute_threads": 2},
+        {"cores_per_replica": 0},
+        {"client_batch_txns": 0},
+    ],
+)
+def test_invalid_configs_rejected(overrides):
+    with pytest.raises(ValueError):
+        SystemConfig(**overrides)
+
+
+def test_with_options_derives_variant():
+    base = SystemConfig()
+    variant = base.with_options(num_replicas=32, batch_size=500)
+    assert variant.num_replicas == 32
+    assert variant.batch_size == 500
+    assert base.num_replicas == 16  # base untouched
+    assert variant.protocol == base.protocol

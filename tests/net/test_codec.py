@@ -1,0 +1,121 @@
+"""Tests for the binary wire codec and its agreement with the size model."""
+
+import pytest
+
+from repro.consensus.messages import (
+    Checkpoint,
+    ClientRequest,
+    ClientResponse,
+    Commit,
+    Prepare,
+    PrePrepare,
+    RequestBatch,
+)
+from repro.net.codec import CodecError, decode, encode, encoded_size
+from repro.workloads import Operation, OpType, Transaction
+
+
+def make_request(request_id=1, txns=2, ops=1, padding=0):
+    return ClientRequest(
+        "client0",
+        request_id,
+        tuple(
+            Transaction(
+                "client0",
+                tuple(
+                    Operation(OpType.WRITE, f"key{t}-{o}", "value" * 4)
+                    for o in range(ops)
+                ),
+                padding_bytes=padding,
+            )
+            for t in range(txns)
+        ),
+    )
+
+
+def test_client_request_roundtrip():
+    request = make_request(request_id=42, txns=3, ops=2)
+    decoded = decode(encode(request))
+    assert decoded.kind == "client-request"
+    assert decoded.sender == "client0"
+    assert decoded.request_id == 42
+    assert len(decoded.txns) == 3
+    assert decoded.txns[0].ops == request.txns[0].ops
+    assert decoded.batch_bytes() == request.batch_bytes()
+
+
+def test_preprepare_roundtrip():
+    batch = RequestBatch((make_request(1), make_request(2)))
+    batch.digest = "d" * 64
+    message = PrePrepare("r0", 3, 99, batch.digest, batch)
+    decoded = decode(encode(message))
+    assert decoded.view == 3 and decoded.sequence == 99
+    assert decoded.digest == "d" * 64
+    assert len(decoded.request.requests) == 2
+    assert decoded.request.batch_bytes() == batch.batch_bytes()
+
+
+def test_vote_roundtrips():
+    for cls, kind in ((Prepare, "prepare"), (Commit, "commit")):
+        message = cls("r7", 1, 12345, "digest")
+        decoded = decode(encode(message))
+        assert decoded.kind == kind
+        assert decoded.sender == "r7"
+        assert (decoded.view, decoded.sequence, decoded.digest) == (1, 12345, "digest")
+
+
+def test_response_roundtrip():
+    message = ClientResponse("r0", (5, 6, 7), 0, 88, "result")
+    decoded = decode(encode(message))
+    assert decoded.request_ids == (5, 6, 7)
+    assert decoded.result_digest == "result"
+
+
+def test_checkpoint_roundtrip_and_bulk():
+    message = Checkpoint("r0", 1000, "state", blocks_included=5)
+    frame = encode(message)
+    assert len(frame) >= 5 * message.block_bytes  # blocks ride literally
+    decoded = decode(frame)
+    assert decoded.sequence == 1000
+    assert decoded.blocks_included == 5
+
+
+def test_padding_rides_on_the_wire():
+    plain = make_request(padding=0)
+    padded = make_request(padding=1000)
+    assert encoded_size(padded) - encoded_size(plain) >= 2 * 1000  # 2 txns
+
+
+def test_size_model_tracks_encoded_size():
+    """payload_bytes() must stay within 2x of the real encoding for the
+    messages the experiments sweep."""
+    batch = RequestBatch(tuple(make_request(i, txns=10) for i in range(10)))
+    batch.digest = "d" * 64
+    for message in (
+        make_request(txns=10),
+        PrePrepare("r0", 0, 1, batch.digest, batch),
+        Prepare("r0", 0, 1, "d" * 64),
+        Commit("r0", 0, 1, "d" * 64),
+        ClientResponse("r0", tuple(range(10)), 0, 1, "d" * 64),
+        Checkpoint("r0", 100, "d" * 64, blocks_included=10),
+    ):
+        real = encoded_size(message)
+        modelled = message.wire_bytes()
+        assert 0.4 <= modelled / real <= 2.5, (message.kind, modelled, real)
+
+
+def test_bad_frames_rejected():
+    with pytest.raises(CodecError):
+        decode(b"XX garbage")
+    request = make_request()
+    frame = bytearray(encode(request))
+    frame[2] = 99  # unsupported version
+    with pytest.raises(CodecError):
+        decode(bytes(frame))
+
+
+def test_unsupported_kind_rejected():
+    from repro.consensus.messages import ViewChange
+
+    with pytest.raises(CodecError):
+        encode(ViewChange("r0", 1, 0, ()))

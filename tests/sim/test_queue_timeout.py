@@ -1,0 +1,95 @@
+"""Tests for timed queue gets (the batch fill-deadline mechanism)."""
+
+import pytest
+
+from repro.sim import SimQueue, Simulator, Timeout
+from repro.sim.events import TIMEOUT
+
+
+def test_get_timeout_fires_when_empty():
+    sim = Simulator()
+    queue = SimQueue(sim, "q")
+    results = []
+
+    def consumer():
+        item = yield queue.get(timeout=100)
+        results.append((sim.now, item))
+
+    sim.spawn(consumer())
+    sim.run()
+    assert results == [(100, TIMEOUT)]
+
+
+def test_item_beats_timeout():
+    sim = Simulator()
+    queue = SimQueue(sim, "q")
+    results = []
+
+    def consumer():
+        item = yield queue.get(timeout=100)
+        results.append((sim.now, item))
+
+    sim.spawn(consumer())
+    sim.schedule(40, queue.put_nowait, "early")
+    sim.run()
+    assert results == [(40, "early")]
+
+
+def test_timed_out_getter_does_not_steal_later_items():
+    """After a waiter times out, the next put must go to the queue (or a
+    live waiter), never resume the expired process a second time."""
+    sim = Simulator()
+    queue = SimQueue(sim, "q")
+    events = []
+
+    def impatient():
+        item = yield queue.get(timeout=50)
+        events.append(("impatient", sim.now, item))
+        # goes on to do something else entirely
+        yield Timeout(1000)
+        events.append(("impatient-done", sim.now, None))
+
+    def patient():
+        item = yield queue.get()
+        events.append(("patient", sim.now, item))
+
+    sim.spawn(impatient())
+    sim.schedule(60, sim.spawn, patient())
+    sim.schedule(100, queue.put_nowait, "late")
+    sim.run()
+    assert ("impatient", 50, TIMEOUT) in events
+    assert ("patient", 100, "late") in events
+
+
+def test_mixed_timed_and_untimed_waiters_fifo():
+    sim = Simulator()
+    queue = SimQueue(sim, "q")
+    got = []
+
+    def waiter(name, timeout=None):
+        item = yield queue.get(timeout=timeout)
+        got.append((name, item))
+
+    sim.spawn(waiter("a", timeout=1000))
+    sim.spawn(waiter("b"))
+    sim.schedule(10, queue.put_nowait, 1)
+    sim.schedule(20, queue.put_nowait, 2)
+    sim.run(until=2000)
+    assert got == [("a", 1), ("b", 2)]
+
+
+def test_expired_waiter_skipped_in_fifo_order():
+    sim = Simulator()
+    queue = SimQueue(sim, "q")
+    got = []
+
+    def waiter(name, timeout=None):
+        item = yield queue.get(timeout=timeout)
+        got.append((name, sim.now, item))
+
+    sim.spawn(waiter("short", timeout=10))
+    sim.spawn(waiter("forever"))
+    sim.schedule(50, queue.put_nowait, "x")
+    sim.run()
+    assert ("short", 10, TIMEOUT) in got
+    assert ("forever", 50, "x") in got

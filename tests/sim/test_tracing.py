@@ -1,0 +1,84 @@
+"""Tests for the structured tracer."""
+
+import pytest
+
+from repro.sim.tracing import TraceRecord, Tracer
+
+
+def test_record_and_query():
+    tracer = Tracer()
+    tracer.record(10, "r0", "execute", "seq=1")
+    tracer.record(20, "r1", "execute", "seq=1")
+    tracer.record(30, "r0", "checkpoint", "stable at 10")
+    assert len(tracer) == 3
+    assert len(tracer.records(node="r0")) == 2
+    assert len(tracer.records(category="execute")) == 2
+    assert len(tracer.records(since=15)) == 2
+    assert tracer.records(node="r1", category="execute")[0].at == 20
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.record(1, "r0", "execute", "x")
+    assert len(tracer) == 0
+
+
+def test_category_filter():
+    tracer = Tracer()
+    tracer.limit_to(["commit"])
+    tracer.record(1, "r0", "execute", "x")
+    tracer.record(2, "r0", "commit", "y")
+    assert [r.category for r in tracer.records()] == ["commit"]
+
+
+def test_bounded_capacity_drops_oldest():
+    tracer = Tracer(capacity=3)
+    for i in range(5):
+        tracer.record(i, "r0", "tick", str(i))
+    assert len(tracer) == 3
+    assert tracer.dropped == 2
+    assert tracer.records()[0].detail == "2"
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_counts_and_dump():
+    tracer = Tracer()
+    tracer.record(1, "r0", "execute", "a")
+    tracer.record(2, "r0", "execute", "b")
+    tracer.record(3, "r0", "checkpoint", "c")
+    assert tracer.counts_by_category() == {"execute": 2, "checkpoint": 1}
+    dump = tracer.dump(limit=2)
+    assert "checkpoint" in dump and "b" in dump and "a" not in dump
+
+
+def test_first_divergence():
+    a = [TraceRecord(1, "r0", "x", "1"), TraceRecord(2, "r0", "x", "2")]
+    b = [TraceRecord(1, "r0", "x", "1"), TraceRecord(2, "r0", "x", "DIFFERENT")]
+    assert Tracer.first_divergence(a, b) == 1
+    assert Tracer.first_divergence(a, a[:1]) is None
+
+
+def test_system_level_trace():
+    from repro.core import ResilientDBSystem, SystemConfig
+    from repro.sim.clock import millis
+
+    config = SystemConfig(
+        num_replicas=4,
+        num_clients=32,
+        client_groups=2,
+        batch_size=4,
+        ycsb_records=200,
+        warmup=millis(20),
+        measure=millis(60),
+        trace=True,
+    )
+    system = ResilientDBSystem(config)
+    system.run()
+    executions = system.tracer.records(category="execute")
+    assert len(executions) > 10
+    # traces from every replica
+    assert {record.node for record in executions} == set(system.replica_ids)

@@ -1,0 +1,163 @@
+"""Tests for the ledger: genesis, appends, certification modes, pruning."""
+
+import pytest
+
+from repro.storage import Block, Blockchain, CertificationMode
+from repro.storage.blockchain import ChainViolation, make_genesis
+
+
+def make_cert(sequence, signers):
+    return tuple((signer, f"sig:{signer}:{sequence}".encode()) for signer in signers)
+
+
+def linked_block(chain, digest="d", view=0, txn_count=100, signers=("r0", "r1", "r2")):
+    head = chain.head()
+    return Block(
+        sequence=head.sequence + 1,
+        digest=digest,
+        view=view,
+        proposer=f"r{view}",
+        txn_count=txn_count,
+        prev_hash=head.block_hash(),
+        commit_certificate=make_cert(head.sequence + 1, signers),
+    )
+
+
+# ----------------------------------------------------------------------
+# genesis
+# ----------------------------------------------------------------------
+def test_genesis_anchors_chain():
+    chain = Blockchain("r0")
+    assert chain.height == 0
+    assert len(chain) == 1
+    genesis = chain.get(0)
+    assert genesis.txn_count == 0
+    assert genesis.prev_hash is None
+
+
+def test_genesis_digest_is_hash_of_first_primary():
+    from repro.crypto import digest_bytes
+
+    genesis = make_genesis("r0")
+    assert genesis.digest == digest_bytes(b"r0")
+
+
+# ----------------------------------------------------------------------
+# appends
+# ----------------------------------------------------------------------
+def test_append_extends_chain():
+    chain = Blockchain("r0", quorum_size=3)
+    chain.append(linked_block(chain))
+    chain.append(linked_block(chain))
+    assert chain.height == 2
+    chain.validate()
+
+
+def test_non_contiguous_sequence_rejected():
+    chain = Blockchain("r0", quorum_size=3)
+    block = linked_block(chain)
+    skipped = Block(
+        sequence=5,
+        digest="d",
+        view=0,
+        proposer="r0",
+        txn_count=1,
+        prev_hash=block.prev_hash,
+        commit_certificate=make_cert(5, ("r0", "r1", "r2")),
+    )
+    with pytest.raises(ChainViolation):
+        chain.append(skipped)
+
+
+def test_prev_hash_mode_enforces_link():
+    chain = Blockchain("r0", mode=CertificationMode.PREV_HASH)
+    good = linked_block(chain)
+    chain.append(good)
+    bad = Block(
+        sequence=2,
+        digest="d",
+        view=0,
+        proposer="r0",
+        txn_count=1,
+        prev_hash="forged",
+    )
+    with pytest.raises(ChainViolation):
+        chain.append(bad)
+
+
+def test_certificate_mode_requires_quorum():
+    chain = Blockchain("r0", mode=CertificationMode.COMMIT_CERTIFICATE, quorum_size=3)
+    thin = linked_block(chain, signers=("r0", "r1"))
+    with pytest.raises(ChainViolation):
+        chain.append(thin)
+
+
+def test_certificate_mode_rejects_duplicate_signers():
+    chain = Blockchain("r0", quorum_size=3)
+    head = chain.head()
+    block = Block(
+        sequence=1,
+        digest="d",
+        view=0,
+        proposer="r0",
+        txn_count=1,
+        prev_hash=head.block_hash(),
+        commit_certificate=(
+            ("r0", b"s1"),
+            ("r0", b"s2"),
+            ("r1", b"s3"),
+        ),
+    )
+    with pytest.raises(ChainViolation):
+        chain.append(block)
+
+
+def test_validate_detects_retrospective_tampering():
+    chain = Blockchain("r0", mode=CertificationMode.PREV_HASH)
+    for _ in range(3):
+        chain.append(linked_block(chain))
+    # immutability: replacing a middle block breaks the next link
+    tampered = Block(
+        sequence=2,
+        digest="evil",
+        view=0,
+        proposer="r0",
+        txn_count=1,
+        prev_hash=chain.blocks[1].block_hash(),
+    )
+    chain.blocks[2] = tampered
+    with pytest.raises(ChainViolation):
+        chain.validate()
+
+
+def test_block_hash_covers_contents():
+    one = Block(sequence=1, digest="d", view=0, proposer="r0", txn_count=10)
+    two = Block(sequence=1, digest="d2", view=0, proposer="r0", txn_count=10)
+    assert one.block_hash() != two.block_hash()
+    assert one.block_hash() == Block(
+        sequence=1, digest="d", view=0, proposer="r0", txn_count=10
+    ).block_hash()
+
+
+# ----------------------------------------------------------------------
+# pruning (checkpoint GC)
+# ----------------------------------------------------------------------
+def test_prune_keeps_genesis_and_recent():
+    chain = Blockchain("r0", quorum_size=3)
+    for _ in range(10):
+        chain.append(linked_block(chain))
+    dropped = chain.prune_before(8)
+    assert dropped == 7  # blocks 1..7
+    assert chain.get(0) is not None
+    assert chain.get(7) is None
+    assert chain.get(8) is not None
+    assert chain.height == 10
+
+
+def test_append_after_prune_still_works():
+    chain = Blockchain("r0", quorum_size=3)
+    for _ in range(5):
+        chain.append(linked_block(chain))
+    chain.prune_before(5)
+    chain.append(linked_block(chain))
+    assert chain.height == 6

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_command_executes(capsys):
+    code = main([
+        "run",
+        "--replicas", "4",
+        "--clients", "64",
+        "--client-groups", "4",
+        "--batch-size", "8",
+        "--records", "500",
+        "--warmup-ms", "30",
+        "--measure-ms", "60",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "throughput=" in out
+    assert "chain height:" in out
+    assert "primary saturation:" in out
+
+
+def test_run_with_crashes(capsys):
+    code = main([
+        "run",
+        "--replicas", "4",
+        "--clients", "32",
+        "--client-groups", "2",
+        "--batch-size", "4",
+        "--records", "200",
+        "--warmup-ms", "20",
+        "--measure-ms", "40",
+        "--crash-backups", "1",
+    ])
+    assert code == 0
+
+
+def test_list_figures(capsys):
+    assert main(["list-figures"]) == 0
+    out = capsys.readouterr().out
+    for figure_id in ("fig01", "fig10", "fig17"):
+        assert figure_id in out
+
+
+def test_unknown_figure_rejected(capsys):
+    assert main(["figure", "fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_bad_protocol_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--protocol", "raft"])

@@ -1,0 +1,38 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    script = os.path.join(_ROOT, "examples", name)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    completed = subprocess.run(
+        [sys.executable, script],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "throughput:" in out
+    assert "safety: all replicas agree" in out
+
+
+def test_stock_exchange_example():
+    out = run_example("stock_exchange.py")
+    assert "audit trail:" in out
+    assert "trading continues" in out

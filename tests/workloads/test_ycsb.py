@@ -1,0 +1,143 @@
+"""Tests for the YCSB workload, Zipfian keys and transactions."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRNG
+from repro.workloads import (
+    Operation,
+    OpType,
+    Transaction,
+    UniformGenerator,
+    YCSBWorkload,
+    ZipfianGenerator,
+)
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+def test_zipfian_keys_in_range():
+    generator = ZipfianGenerator(1000, DeterministicRNG(1))
+    keys = [generator.next_key() for _ in range(5000)]
+    assert all(0 <= key < 1000 for key in keys)
+
+
+def test_zipfian_is_skewed_toward_low_keys():
+    generator = ZipfianGenerator(10_000, DeterministicRNG(2), theta=0.99)
+    keys = [generator.next_key() for _ in range(20_000)]
+    hot = sum(1 for key in keys if key < 100)  # 1% of the keyspace
+    assert hot > 0.3 * len(keys)  # gets far more than 1% of accesses
+
+
+def test_zipfian_low_theta_flattens():
+    skewed = ZipfianGenerator(10_000, DeterministicRNG(3), theta=0.99)
+    flat = ZipfianGenerator(10_000, DeterministicRNG(3), theta=0.1)
+    hot_skewed = sum(1 for _ in range(10_000) if skewed.next_key() < 100)
+    hot_flat = sum(1 for _ in range(10_000) if flat.next_key() < 100)
+    assert hot_skewed > 2 * hot_flat
+
+
+def test_uniform_covers_keyspace():
+    generator = UniformGenerator(100, DeterministicRNG(4))
+    keys = {generator.next_key() for _ in range(5000)}
+    assert len(keys) > 90
+
+
+def test_generator_validation():
+    rng = DeterministicRNG(0)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(0, rng)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(10, rng, theta=1.5)
+    with pytest.raises(ValueError):
+        UniformGenerator(0, rng)
+
+
+def test_generators_deterministic():
+    first = ZipfianGenerator(1000, DeterministicRNG(7))
+    second = ZipfianGenerator(1000, DeterministicRNG(7))
+    assert [first.next_key() for _ in range(100)] == [
+        second.next_key() for _ in range(100)
+    ]
+
+
+# ----------------------------------------------------------------------
+# transactions
+# ----------------------------------------------------------------------
+def test_transaction_requires_ops():
+    with pytest.raises(ValueError):
+        Transaction(client_id="c", ops=())
+
+
+def test_write_requires_value():
+    with pytest.raises(ValueError):
+        Operation(OpType.WRITE, "key")
+
+
+def test_wire_bytes_accounts_ops_and_padding():
+    txn = Transaction(
+        client_id="c",
+        ops=(Operation(OpType.WRITE, "key1", "value1"),),
+        padding_bytes=500,
+    )
+    bare = Transaction(
+        client_id="c", ops=(Operation(OpType.WRITE, "key1", "value1"),)
+    )
+    assert txn.wire_bytes() == bare.wire_bytes() + 500
+
+
+def test_canonical_bytes_distinguish_content():
+    one = Transaction("c", (Operation(OpType.WRITE, "k", "v1"),))
+    two = Transaction("c", (Operation(OpType.WRITE, "k", "v2"),))
+    assert one.canonical_bytes() != two.canonical_bytes()
+
+
+# ----------------------------------------------------------------------
+# YCSB workload
+# ----------------------------------------------------------------------
+def test_initial_table_size_and_shape():
+    workload = YCSBWorkload(DeterministicRNG(1), record_count=100)
+    table = workload.initial_table()
+    assert len(table) == 100
+    assert "user0" in table and "user99" in table
+    assert all(len(value) >= 100 for value in table.values())
+
+
+def test_write_only_by_default():
+    workload = YCSBWorkload(DeterministicRNG(1), record_count=100, ops_per_txn=3)
+    txn = workload.next_transaction("client0")
+    assert txn.op_count == 3
+    assert all(op.op_type is OpType.WRITE for op in txn.ops)
+
+
+def test_read_fraction_respected():
+    workload = YCSBWorkload(
+        DeterministicRNG(1), record_count=100, write_fraction=0.0
+    )
+    txn = workload.next_transaction("client0")
+    assert all(op.op_type is OpType.READ for op in txn.ops)
+
+
+def test_keys_reference_table():
+    workload = YCSBWorkload(DeterministicRNG(1), record_count=50)
+    table = workload.initial_table()
+    for _ in range(100):
+        txn = workload.next_transaction("client0")
+        for op in txn.ops:
+            assert op.key in table
+
+
+def test_padding_propagates():
+    workload = YCSBWorkload(DeterministicRNG(1), record_count=10, padding_bytes=640)
+    txn = workload.next_transaction("client0")
+    assert txn.padding_bytes == 640
+
+
+def test_workload_validation():
+    rng = DeterministicRNG(0)
+    with pytest.raises(ValueError):
+        YCSBWorkload(rng, record_count=0)
+    with pytest.raises(ValueError):
+        YCSBWorkload(rng, ops_per_txn=0)
+    with pytest.raises(ValueError):
+        YCSBWorkload(rng, write_fraction=1.5)
