@@ -14,7 +14,7 @@ crash replicas.  This demo goes further on both axes the fabric supports:
 """
 
 from repro.core import ResilientDBSystem, SystemConfig
-from repro.sim.clock import millis, seconds
+from repro.sim.clock import millis
 
 
 def base_config() -> SystemConfig:

@@ -6,7 +6,7 @@ sweeps against the committed baselines.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.bench.report import FigureResult, Series
 

@@ -7,7 +7,7 @@ paper's claim next to what these functions measure.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 from repro.bench.report import FigureResult, Series, SeriesPoint
 from repro.bench.runner import base_config, full_scale, run_config

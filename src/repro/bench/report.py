@@ -3,7 +3,29 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
+
+
+def format_stage_latency(stage_latency: Dict[str, Dict[str, float]]) -> str:
+    """Render a per-stage latency breakdown (``ExperimentResult.stage_latency``)
+    as a text table — the "where did the p99 go" view.
+
+    Latency between consecutive stamped pipeline hand-offs is attributed
+    to the later stage; ``total`` is submit → reply.  Returns "" when no
+    spans were collected (observability disabled or no completions).
+    """
+    if not stage_latency:
+        return ""
+    lines = ["-- stage latency (ms) --"]
+    lines.append(f"{'stage':<10} {'count':>9} {'mean':>9} {'p50':>9} {'p99':>9}")
+    for stage, stats in stage_latency.items():
+        lines.append(
+            f"{stage:<10} {int(stats['count']):>9}"
+            f" {stats['mean_s'] * 1e3:>9.3f}"
+            f" {stats['p50_s'] * 1e3:>9.3f}"
+            f" {stats['p99_s'] * 1e3:>9.3f}"
+        )
+    return "\n".join(lines)
 
 
 @dataclass

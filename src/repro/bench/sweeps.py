@@ -11,7 +11,7 @@ for exploring any knob::
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.bench.report import Series, SeriesPoint
 from repro.bench.runner import base_config, run_config

@@ -11,6 +11,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -50,6 +51,22 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--records", type=int, default=60_000)
     run.add_argument("--full-fidelity", action="store_true",
                      help="real auth tokens + real state application")
+    obs = run.add_argument_group("observability")
+    obs.add_argument("--trace-out", metavar="PATH",
+                     help="write lifecycle spans + event trace as Chrome "
+                     "trace-event JSON (load at https://ui.perfetto.dev)")
+    obs.add_argument("--metrics-out", metavar="PATH",
+                     help="write metrics in Prometheus text format")
+    obs.add_argument("--metrics-json", metavar="PATH",
+                     help="write metrics + time series as JSON")
+    obs.add_argument("--samples-out", metavar="PATH",
+                     help="write sampled pipeline time series as CSV")
+    obs.add_argument("--sample-interval-ms", type=float, default=None,
+                     metavar="MS",
+                     help="queue/CPU/network sampling period (default: 5ms "
+                     "when --samples-out is given, else off)")
+    obs.add_argument("--no-spans", action="store_true",
+                     help="skip lifecycle spans (no stage-latency table)")
 
     figure = commands.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("figure_id", help="e.g. fig10 (see list-figures)")
@@ -69,6 +86,22 @@ def _figure_registry():
 
 
 def _command_run(args) -> int:
+    sample_interval_ms = args.sample_interval_ms
+    if sample_interval_ms is not None and sample_interval_ms <= 0:
+        print(f"invalid --sample-interval-ms: {sample_interval_ms} "
+              "(must be positive)", file=sys.stderr)
+        return 2
+    if sample_interval_ms is None and args.samples_out:
+        sample_interval_ms = 5.0
+    # fail before the (possibly long) run, not after it
+    for path in (args.trace_out, args.metrics_out, args.metrics_json,
+                 args.samples_out):
+        if path:
+            parent = os.path.dirname(path) or "."
+            if not os.path.isdir(parent):
+                print(f"output directory does not exist: {parent}",
+                      file=sys.stderr)
+                return 2
     config = SystemConfig(
         protocol=args.protocol,
         num_replicas=args.replicas,
@@ -88,12 +121,19 @@ def _command_run(args) -> int:
         seed=args.seed,
         real_auth_tokens=args.full_fidelity,
         apply_state=args.full_fidelity,
+        trace=bool(args.trace_out),
+        lifecycle_spans=not args.no_spans,
+        span_keep_finished=10_000 if args.trace_out else 0,
+        sample_interval=(
+            millis(sample_interval_ms) if sample_interval_ms else None
+        ),
     )
     system = ResilientDBSystem(config)
     try:
         if args.crash_backups:
             system.crash_replicas(args.crash_backups)
         result = system.run()
+        _write_observability(args, system)
     finally:
         system.close()
     print(result.summary())
@@ -105,7 +145,48 @@ def _command_run(args) -> int:
     print("primary saturation:")
     for stage, value in sorted(result.primary_saturation.items()):
         print(f"  {stage:<12} {value * 100:5.1f}%")
+    table = result.stage_latency_table()
+    if table:
+        print(table)
     return 0
+
+
+def _write_observability(args, system) -> None:
+    """Export whatever observability outputs the run asked for."""
+    from repro.obs import chrome_trace, metrics_json, prometheus_text, sampler_csv
+
+    def _write(path: str, payload: str, what: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {what} to {path}", file=sys.stderr)
+
+    if args.trace_out:
+        _write(
+            args.trace_out,
+            chrome_trace(spans=system.spans, tracer=system.tracer),
+            "Chrome trace (Perfetto-loadable)",
+        )
+    if args.metrics_out:
+        _write(
+            args.metrics_out,
+            prometheus_text(
+                system.metrics, sampler=system.sampler, spans=system.spans
+            ),
+            "Prometheus metrics",
+        )
+    if args.metrics_json:
+        _write(
+            args.metrics_json,
+            metrics_json(
+                system.metrics, sampler=system.sampler, spans=system.spans
+            ),
+            "JSON metrics",
+        )
+    if args.samples_out:
+        if system.sampler is None:
+            print("no sampler configured; nothing to write", file=sys.stderr)
+        else:
+            _write(args.samples_out, sampler_csv(system.sampler), "sampler CSV")
 
 
 def _command_figure(figure_id: str) -> int:

@@ -8,7 +8,6 @@ logic free of I/O and timing makes safety properties directly testable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.consensus.messages import ClientRequest
 from repro.net.message import Message

@@ -33,7 +33,6 @@ from repro.consensus.base import (
     EnterView,
     ExecuteReady,
     QuorumConfig,
-    SendTo,
     StartViewChangeTimer,
 )
 from repro.consensus.messages import (

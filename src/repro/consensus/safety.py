@@ -8,7 +8,7 @@ one another, with no gaps and no divergence.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 
 class SafetyViolation(AssertionError):

@@ -25,8 +25,7 @@ damage is entirely client-side timeouts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Tuple
 
 from repro.consensus.base import Action, Broadcast, ExecuteReady, QuorumConfig, SendTo
 from repro.consensus.messages import (

@@ -24,7 +24,7 @@ enforces key custody), exactly the power model of the paper.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.consensus.base import Action, Broadcast, SendTo
 from repro.consensus.messages import Commit, Prepare, PrePrepare

@@ -104,6 +104,9 @@ class ClientGroup:
         self.pending[request_id] = PendingRequest(
             submitted_at=self.sim.now, txn_count=len(txns)
         )
+        spans = self.system.spans
+        if spans.enabled:
+            spans.begin((self.name, request_id), self.sim.now)
         self.system.network.send(self.name, self.system.contact_replica(), request)
         if config.protocol == "zyzzyva":
             Timer(
@@ -242,6 +245,9 @@ class ClientGroup:
             metrics.counter("slow_path_completions").increment()
         latency = self.sim.now - pending.submitted_at
         metrics.histogram("request_latency").record(latency)
+        spans = self.system.spans
+        if spans.enabled:
+            spans.finish((self.name, request_id), self.sim.now)
         metrics.counter("requests_completed").increment()
         metrics.counter("txns_completed").increment(pending.txn_count)
         metrics.counter("ops_completed").increment(

@@ -13,7 +13,7 @@ from typing import Optional
 
 from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
 from repro.crypto.schemes import SchemeName
-from repro.sim.clock import micros, millis, seconds
+from repro.sim.clock import millis, seconds
 from repro.storage.base import StorageCosts
 from repro.storage.blockchain import CertificationMode
 
@@ -156,6 +156,20 @@ class SystemConfig:
     #: :mod:`repro.sim.tracing`
     trace: bool = False
 
+    # -- observability (repro.obs) --------------------------------------------
+    #: stamp every client request at each pipeline hand-off and aggregate
+    #: per-stage latency histograms (ExperimentResult.stage_latency) — see
+    #: :mod:`repro.obs.spans`.  Stamps record timestamps only, so enabling
+    #: spans never changes simulated results.
+    lifecycle_spans: bool = False
+    #: sample queue depths / CPU / network counters every this many ticks
+    #: into bounded time series (None disables the sampler) — see
+    #: :mod:`repro.obs.sampler`
+    sample_interval: Optional[int] = None
+    #: retain up to this many finished spans for Chrome-trace export
+    #: (0 = aggregate only; export needs retained spans)
+    span_keep_finished: int = 0
+
     # -- cost models ---------------------------------------------------------
     work_costs: WorkCosts = field(default_factory=WorkCosts)
     crypto_costs: CryptoCosts = field(default_factory=lambda: DEFAULT_COSTS)
@@ -186,6 +200,10 @@ class SystemConfig:
             raise ValueError("at most one execute-thread is supported")
         if self.cores_per_replica < 1:
             raise ValueError("cores_per_replica must be >= 1")
+        if self.sample_interval is not None and self.sample_interval < 1:
+            raise ValueError("sample_interval must be >= 1 tick")
+        if self.span_keep_finished < 0:
+            raise ValueError("span_keep_finished must be >= 0")
 
     # ------------------------------------------------------------------
     @property

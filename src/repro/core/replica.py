@@ -233,6 +233,9 @@ class Replica:
         if key in self._seen_requests:
             return  # client retransmission of an in-flight request
         self._seen_requests.add(key)
+        spans = self.system.spans
+        if spans.enabled:
+            spans.stamp(key, "input", self.sim.now)
         yield self.cpu.run(costs.sequence_assign_ns, thread_id)
         if self.config.batch_threads:
             self.batch_queue.put_nowait(message)
@@ -322,7 +325,7 @@ class Replica:
         if config.protocol == "pbft":
             sequence = self.next_batch_sequence
             self.next_batch_sequence += 1
-            _message, actions = self.engine.make_preprepare(
+            proposal, actions = self.engine.make_preprepare(
                 sequence, batch.digest, batch
             )
         elif config.protocol == "zyzzyva":
@@ -331,9 +334,20 @@ class Replica:
             yield self.cpu.run(
                 digest_cost(64, config.crypto_costs), thread_id
             )
-            _message, actions = self.engine.make_order_request(batch.digest, batch)
+            proposal, actions = self.engine.make_order_request(batch.digest, batch)
         else:
-            _message, actions = self.engine.make_propose(batch.digest, batch)
+            proposal, actions = self.engine.make_propose(batch.digest, batch)
+        spans = self.system.spans
+        if spans.enabled:
+            now = self.sim.now
+            keys = tuple(
+                (request.sender, request.request_id)
+                for request in valid_requests
+            )
+            for key in keys:
+                spans.stamp(key, "batch", now)
+            spans.link_batch(proposal.sequence, keys)
+            spans.stamp_sequence(proposal.sequence, "propose", now)
         yield from self._dispatch(actions, thread_id)
 
     def _digest_cost_for(self, batch: RequestBatch) -> int:
@@ -381,7 +395,6 @@ class Replica:
 
     def _worker_loop(self):
         thread_id = f"{self.replica_id}.worker"
-        costs = self.config.work_costs
         pending_client_requests: List[ClientRequest] = []
         flush_armed = False
         while True:
@@ -476,6 +489,14 @@ class Replica:
             actions = self.adversary.transform(self, actions)
         for action in actions:
             if isinstance(action, Broadcast):
+                spans = self.system.spans
+                if spans.enabled and action.message.kind in (
+                    "commit",  # PBFT: broadcasting Commit == prepared
+                    "poe-support",  # PoE: broadcasting Support == endorsed
+                ):
+                    spans.stamp_sequence(
+                        action.message.sequence, "prepare", self.sim.now
+                    )
                 receivers = [
                     rid for rid in self.system.replica_ids if rid != self.replica_id
                 ]
@@ -591,6 +612,9 @@ class Replica:
         sequence = action.sequence
         if sequence < self.next_exec_sequence or sequence in self.exec_pending:
             return  # replay after a view change; already executed/queued
+        spans = self.system.spans
+        if spans.enabled:
+            spans.stamp_sequence(sequence, "commit", self.sim.now)
         self.exec_pending[sequence] = action
         if sequence == self.next_exec_sequence and self._exec_event is not None:
             event, self._exec_event = self._exec_event, None
@@ -671,6 +695,9 @@ class Replica:
                 f"seq={action.sequence} txns={batch.txn_count} "
                 f"digest={str(batch.digest)[:12]}",
             )
+        spans = self.system.spans
+        if spans.enabled:
+            spans.stamp_sequence(action.sequence, "execute", self.sim.now)
         metrics = self.system.metrics
         metrics.counter("replica_txns_executed").increment(batch.txn_count)
         metrics.counter("replica_ops_executed").increment(ops_executed)

@@ -26,7 +26,7 @@ from repro.crypto.schemes import make_scheme
 from repro.net.faults import FaultPlan
 from repro.net.topology import Topology
 from repro.net.transport import Network
-from repro.sim.clock import micros, to_seconds
+from repro.sim.clock import micros
 from repro.sim.kernel import Simulator
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import DeterministicRNG
@@ -57,6 +57,9 @@ class ExperimentResult:
     fast_path_completions: int = 0
     slow_path_completions: int = 0
     invalid_messages: int = 0
+    #: pipeline stage -> {count, mean_s, p50_s, p99_s}; populated when
+    #: ``config.lifecycle_spans`` is on (see :mod:`repro.obs.spans`)
+    stage_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def cumulative_saturation(self, where: str = "primary") -> float:
         """Sum of stage saturations (the paper's 'Cumulative Saturation'
@@ -73,6 +76,13 @@ class ExperimentResult:
             f"(p99={self.latency_p99_s * 1e3:.1f}ms) "
             f"requests={self.completed_requests}"
         )
+
+    def stage_latency_table(self) -> str:
+        """The per-stage latency breakdown as a printable table (empty
+        string when spans were not collected)."""
+        from repro.bench.report import format_stage_latency
+
+        return format_stage_latency(self.stage_latency)
 
 
 class ResilientDBSystem:
@@ -96,6 +106,19 @@ class ResilientDBSystem:
         from repro.sim.tracing import Tracer
 
         self.tracer = Tracer(enabled=config.trace)
+
+        # -- observability (repro.obs) ------------------------------------
+        from repro.obs.sampler import PipelineSampler
+        from repro.obs.spans import SpanRecorder
+
+        self.spans = SpanRecorder(
+            enabled=config.lifecycle_spans,
+            keep_finished=config.span_keep_finished,
+        )
+        self.metrics.register_resettable(self.spans)
+        self.sampler: Optional[PipelineSampler] = None
+        if config.sample_interval is not None:
+            self.sampler = PipelineSampler(self, config.sample_interval)
 
         # -- identities and keys ------------------------------------------
         self.replica_ids: Tuple[str, ...] = tuple(
@@ -217,6 +240,8 @@ class ResilientDBSystem:
         ramp = max(1, self.config.warmup // 2)
         for group in self.client_groups:
             group.start(ramp_ns=ramp)
+        if self.sampler is not None:
+            self.sim.spawn(self.sampler.run(), name="obs.sampler")
 
     def run(self) -> ExperimentResult:
         """Warm up, measure, and report (the §5.1 protocol)."""
@@ -282,6 +307,7 @@ class ResilientDBSystem:
             invalid_messages=sum(
                 replica.invalid_messages for replica in self.replicas.values()
             ),
+            stage_latency=self.spans.stage_table(),
         )
 
     # ------------------------------------------------------------------

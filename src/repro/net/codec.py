@@ -19,7 +19,7 @@ Strings are length-prefixed UTF-8; sequences are count-prefixed.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.consensus.messages import (
     Checkpoint,

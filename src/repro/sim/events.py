@@ -17,7 +17,7 @@ Supported effects:
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, List
 
 
 class _TimeoutSentinel:

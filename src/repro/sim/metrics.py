@@ -9,6 +9,8 @@ ends, and throughput is computed over the post-reset interval.
 from __future__ import annotations
 
 import math
+import random
+import zlib
 from typing import Dict, List, Optional
 
 from repro.sim.clock import NANOS_PER_SEC
@@ -36,34 +38,64 @@ class Counter:
 class LatencyHistogram:
     """Collects latency samples (in clock ticks) and reports summary stats.
 
-    Samples are kept raw; experiments are short enough (≤ a few hundred
-    thousand samples) that exact percentiles are affordable and simpler
-    than HDR-style bucketing.
+    By default samples are kept raw: experiments are short enough (≤ a few
+    hundred thousand samples) that exact percentiles are affordable and
+    simpler than HDR-style bucketing.  For unbounded runs, ``max_samples``
+    caps memory with a deterministic reservoir (seeded from the histogram
+    name, so identical runs sample identically): count, sum/mean and max
+    stay exact; percentiles come from the reservoir.
     """
 
-    __slots__ = ("name", "samples")
+    __slots__ = ("name", "samples", "max_samples", "_total", "_sum", "_max", "_rng")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, max_samples: Optional[int] = None):
+        if max_samples is not None and max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.name = name
+        self.max_samples = max_samples
         self.samples: List[int] = []
+        self._total = 0
+        self._sum = 0
+        self._max = 0
+        self._rng: Optional[random.Random] = None
+        if max_samples is not None:
+            self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def record(self, latency: int) -> None:
-        self.samples.append(latency)
+        self._total += 1
+        self._sum += latency
+        if latency > self._max:
+            self._max = latency
+        if self.max_samples is None or len(self.samples) < self.max_samples:
+            self.samples.append(latency)
+            return
+        # Vitter's algorithm R: each of the _total samples has an equal
+        # max_samples/_total chance of being in the reservoir
+        slot = self._rng.randrange(self._total)
+        if slot < self.max_samples:
+            self.samples[slot] = latency
 
     def reset(self) -> None:
         self.samples = []
+        self._total = 0
+        self._sum = 0
+        self._max = 0
+        if self.max_samples is not None:
+            # re-seed so a post-warmup window samples reproducibly
+            self._rng = random.Random(zlib.crc32(self.name.encode("utf-8")))
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self._total
 
     def mean_seconds(self) -> float:
-        if not self.samples:
+        if not self._total:
             return 0.0
-        return sum(self.samples) / len(self.samples) / NANOS_PER_SEC
+        return self._sum / self._total / NANOS_PER_SEC
 
     def percentile_seconds(self, pct: float) -> float:
-        """Exact percentile (nearest-rank) in seconds; 0.0 when empty."""
+        """Nearest-rank percentile in seconds (exact unless the reservoir
+        cap evicted samples); 0.0 when empty."""
         if not self.samples:
             return 0.0
         if not 0.0 < pct <= 100.0:
@@ -73,7 +105,7 @@ class LatencyHistogram:
         return ordered[rank - 1] / NANOS_PER_SEC
 
     def max_seconds(self) -> float:
-        return max(self.samples) / NANOS_PER_SEC if self.samples else 0.0
+        return self._max / NANOS_PER_SEC if self._total else 0.0
 
 
 class BusyTracker:
@@ -120,9 +152,11 @@ class MetricsRegistry:
             self.counters[name] = Counter(name)
         return self.counters[name]
 
-    def histogram(self, name: str) -> LatencyHistogram:
+    def histogram(
+        self, name: str, max_samples: Optional[int] = None
+    ) -> LatencyHistogram:
         if name not in self.histograms:
-            self.histograms[name] = LatencyHistogram(name)
+            self.histograms[name] = LatencyHistogram(name, max_samples=max_samples)
         return self.histograms[name]
 
     def busy_tracker(self, name: str) -> BusyTracker:

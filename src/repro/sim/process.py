@@ -8,7 +8,7 @@ the value of the ``yield`` expression.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 
 class ProcessFailure(RuntimeError):

@@ -186,9 +186,29 @@ class SimQueue:
         return len(self._items)
 
     @property
+    def depth(self) -> int:
+        """Current occupancy (items enqueued and not yet consumed)."""
+        return len(self._items)
+
+    @property
+    def waiters(self) -> int:
+        """Consumers currently parked in ``get()``."""
+        return sum(1 for getter in self._getters if getter.active)
+
+    @property
     def mean_wait(self) -> float:
         """Mean ticks an item spent queued before being consumed."""
         return self.total_wait / self.dequeued_total if self.dequeued_total else 0.0
+
+    def stats(self) -> dict:
+        """Occupancy snapshot for samplers and reports."""
+        return {
+            "depth": len(self._items),
+            "enqueued": self.enqueued_total,
+            "dequeued": self.dequeued_total,
+            "max_depth": self.max_depth,
+            "mean_wait": self.mean_wait,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SimQueue({self.name!r}, depth={len(self._items)})"

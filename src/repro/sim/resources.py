@@ -12,7 +12,7 @@ per-thread busy time gives the saturation metric the paper plots.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, Optional
+from typing import Deque, Dict, Optional
 
 
 class _Acquire:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional
 
 
 @dataclass(frozen=True)
@@ -41,9 +41,9 @@ class Tracer:
         self._categories: Optional[set] = None
         self.dropped = 0
 
-    def limit_to(self, categories: Iterable[str]) -> None:
+    def limit_to(self, categories: Optional[Iterable[str]]) -> None:
         """Record only the given categories (None = everything)."""
-        self._categories = set(categories)
+        self._categories = None if categories is None else set(categories)
 
     def record(self, at: int, node: str, category: str, detail: str) -> None:
         if not self.enabled:
@@ -90,9 +90,14 @@ class Tracer:
         ours: List[TraceRecord], theirs: List[TraceRecord]
     ) -> Optional[int]:
         """Index of the first differing record between two traces (the
-        replay-debugging primitive), or None if one is a prefix of the
-        other."""
+        replay-debugging primitive), or None when they are identical.
+
+        Traces of different lengths diverge where the shorter one ends —
+        a missing tail is a divergence, not agreement.
+        """
         for index, (a, b) in enumerate(zip(ours, theirs)):
             if a != b:
                 return index
+        if len(ours) != len(theirs):
+            return min(len(ours), len(theirs))
         return None

@@ -16,7 +16,7 @@ implemented; an ablation bench compares them.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.hashing import digest_bytes

@@ -12,7 +12,7 @@ count toward stability).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Set, Tuple
 
 
 class CheckpointStore:

@@ -9,8 +9,8 @@ grows requests by attaching a set of 8-byte integers).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 
 class OpType(str, enum.Enum):

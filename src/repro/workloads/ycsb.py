@@ -9,7 +9,7 @@ an identical copy of the table."
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.sim.rng import DeterministicRNG
 from repro.workloads.transactions import Operation, OpType, Transaction

@@ -1,6 +1,5 @@
 """Tests for protocol message types: sizes, signable fields, batches."""
 
-import pytest
 
 from repro.consensus.messages import (
     Checkpoint,

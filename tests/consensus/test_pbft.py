@@ -68,8 +68,6 @@ def test_out_of_order_consensus_ordered_execution():
     cluster.propose(first, sequence=1)
     cluster.propose(second, sequence=2)
     # deliver all messages for sequence 2 first
-    seq2 = [entry for entry in cluster.wire if entry[2].sequence == 2]
-    seq1 = [entry for entry in cluster.wire if entry[2].sequence == 2]
     cluster.wire = type(cluster.wire)(
         [e for e in cluster.wire if e[2].sequence == 2]
         + [e for e in cluster.wire if e[2].sequence == 1]
@@ -83,8 +81,6 @@ def test_commit_proof_carries_quorum():
     cluster = Cluster(4)
     request = make_request("client0", 1)
     cluster.propose(request)
-    proofs = []
-    # intercept ExecuteReady via the ready buffer before drain
     cluster.run()
     # check on the engine state instead: every slot committed with 2f+1 votes
     for rid, replica in cluster.replicas.items():

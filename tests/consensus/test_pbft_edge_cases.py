@@ -111,7 +111,7 @@ def test_rejoining_via_f_plus_1_votes_uses_highest_view():
     replica = build(n=4)
     # f+1 = 2 peers vote for view 3 straight away
     replica.handle_view_change(ViewChange("r2", 3, 0, ()))
-    actions = replica.handle_view_change(ViewChange("r3", 3, 0, ()))
+    replica.handle_view_change(ViewChange("r3", 3, 0, ()))
     assert replica.in_view_change
     votes = replica._view_change_votes[3]
     assert replica.replica_id in votes  # joined the later view directly

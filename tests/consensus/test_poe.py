@@ -3,7 +3,7 @@
 import pytest
 
 from repro.consensus import QuorumConfig
-from repro.consensus.base import Broadcast, ExecuteReady
+from repro.consensus.base import ExecuteReady
 from repro.consensus.poe import PoeReplica, Propose, Support
 from repro.consensus.safety import check_execution_consistency
 from repro.sim.rng import DeterministicRNG

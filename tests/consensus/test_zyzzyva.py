@@ -3,7 +3,7 @@
 import pytest
 
 from repro.consensus import QuorumConfig, ZyzzyvaReplica
-from repro.consensus.base import Broadcast, ExecuteReady, SendTo
+from repro.consensus.base import ExecuteReady, SendTo
 from repro.consensus.messages import CommitCertificate, LocalCommit, OrderRequest
 from repro.consensus.safety import check_execution_consistency
 from repro.consensus.zyzzyva import GENESIS_HISTORY, extend_history

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ResilientDBSystem, SystemConfig
+from repro.core import ResilientDBSystem
 from repro.core.byzantine import make_policy
 from repro.sim.clock import millis
 

@@ -1,6 +1,5 @@
 """Tests for the closed-loop client manager."""
 
-import pytest
 
 from repro.core import ResilientDBSystem, SystemConfig
 from repro.sim.clock import millis, seconds
@@ -63,11 +62,6 @@ def test_pbft_retransmission_reaches_new_primary():
     system.crash_primary(at_ns=millis(100))
     result = system.run()
     assert result.completed_requests > 0
-    retransmissions = sum(
-        pending.retransmissions
-        for group in system.client_groups
-        for pending in group.pending.values()
-    )
     # survivors moved to view 1
     for rid in ("r1", "r2", "r3"):
         assert system.replicas[rid].engine.view >= 1

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core import ResilientDBSystem, SystemConfig
-from repro.sim.clock import millis
+from repro.core import ResilientDBSystem
 
 
 def test_zero_batch_threads_still_commits(small_config):

@@ -4,8 +4,7 @@ import pytest
 
 from repro.consensus.base import ExecuteReady
 from repro.consensus.messages import ClientRequest, RequestBatch, make_null_batch
-from repro.core import ResilientDBSystem, SystemConfig
-from repro.sim.clock import millis
+from repro.core import ResilientDBSystem
 from repro.workloads import Operation, OpType, Transaction
 
 

@@ -1,0 +1,105 @@
+"""Tests for the periodic pipeline sampler (repro.obs.sampler)."""
+
+import pytest
+
+from repro.core import ResilientDBSystem, SystemConfig
+from repro.obs.exporters import sampler_csv
+from repro.obs.sampler import PipelineSampler, TimeSeries
+from repro.sim.clock import millis
+
+
+def sampled_config(**overrides):
+    defaults = dict(
+        num_replicas=4,
+        num_clients=32,
+        client_groups=2,
+        batch_size=4,
+        ycsb_records=200,
+        warmup=millis(20),
+        measure=millis(40),
+        real_auth_tokens=False,
+        apply_state=False,
+        sample_interval=millis(5),
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# TimeSeries
+# ----------------------------------------------------------------------
+def test_timeseries_bounded_drops_oldest():
+    series = TimeSeries("q.depth", max_points=3)
+    for i in range(5):
+        series.append(i * 10, float(i))
+    assert len(series) == 3
+    assert series.dropped == 2
+    assert series.times() == [20, 30, 40]
+    assert series.values() == [2.0, 3.0, 4.0]
+
+
+def test_timeseries_validates_max_points():
+    with pytest.raises(ValueError):
+        TimeSeries("x", max_points=0)
+
+
+def test_sampler_validates_interval():
+    with pytest.raises(ValueError):
+        PipelineSampler(object(), interval=0)
+
+
+def test_config_validates_sample_interval():
+    with pytest.raises(ValueError):
+        SystemConfig(sample_interval=0)
+
+
+# ----------------------------------------------------------------------
+# sampling a real run
+# ----------------------------------------------------------------------
+def test_sampler_collects_expected_series():
+    system = ResilientDBSystem(sampled_config())
+    system.run()
+    sampler = system.sampler
+    assert sampler is not None
+    # 60ms run, 5ms period -> 12 sampling points
+    assert sampler.samples_taken == 12
+    names = set(sampler.series)
+    for replica_id in system.replica_ids:
+        assert f"{replica_id}.batch-q.depth" in names
+        assert f"{replica_id}.work-q.depth" in names
+        assert f"{replica_id}.inbox.depth" in names
+        assert f"{replica_id}.cpu.busy_cores" in names
+    assert "net.messages_sent" in names
+    # cumulative network counters never decrease inside the measurement
+    # window (they are zeroed once, when warmup ends)
+    sent = [
+        value
+        for at, value in sampler.series["net.messages_sent"].points
+        if at > millis(20)
+    ]
+    assert sent and sent == sorted(sent)
+    assert all(len(series) == 12 for series in sampler.series.values())
+
+
+def test_sampler_determinism_identical_csv():
+    """Two runs with the same seed must produce byte-identical CSVs."""
+
+    def one_run():
+        system = ResilientDBSystem(sampled_config(seed=7))
+        system.run()
+        return sampler_csv(system.sampler)
+
+    assert one_run() == one_run()
+
+
+def test_sampler_disabled_by_default():
+    system = ResilientDBSystem(sampled_config(sample_interval=None))
+    system.run()
+    assert system.sampler is None
+
+
+def test_sampler_rows_sorted():
+    system = ResilientDBSystem(sampled_config())
+    system.run()
+    rows = system.sampler.rows()
+    assert rows == sorted(rows, key=lambda row: (row[0], row[1]))

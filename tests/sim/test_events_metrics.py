@@ -161,6 +161,65 @@ def test_histogram_empty_and_bad_percentile():
         histogram.percentile_seconds(101)
 
 
+def test_histogram_reservoir_under_cap_is_exact():
+    """With fewer samples than the cap, behaviour is identical to uncapped."""
+    capped = LatencyHistogram("latency", max_samples=100)
+    exact = LatencyHistogram("latency")
+    for value in [micros(100), micros(200), micros(300), micros(400)]:
+        capped.record(value)
+        exact.record(value)
+    assert capped.count == exact.count == 4
+    assert capped.samples == exact.samples
+    for quantile in (50, 99, 100):
+        assert capped.percentile_seconds(quantile) == exact.percentile_seconds(
+            quantile
+        )
+
+
+def test_histogram_reservoir_caps_storage_keeps_exact_aggregates():
+    histogram = LatencyHistogram("latency", max_samples=64)
+    values = [micros(i + 1) for i in range(1000)]
+    for value in values:
+        histogram.record(value)
+    assert len(histogram.samples) == 64
+    # count / sum / mean / max are running values, never sampled
+    assert histogram.count == 1000
+    assert histogram.mean_seconds() == pytest.approx(
+        sum(values) / len(values) / 1e9
+    )
+    assert histogram.max_seconds() == pytest.approx(micros(1000) / 1e9)
+    # percentile comes from the reservoir: approximate but in-range
+    assert micros(1) / 1e9 <= histogram.percentile_seconds(50) <= micros(1000) / 1e9
+
+
+def test_histogram_reservoir_is_deterministic():
+    def fill():
+        histogram = LatencyHistogram("latency", max_samples=32)
+        for i in range(500):
+            histogram.record(micros(i))
+        return list(histogram.samples)
+
+    assert fill() == fill()
+
+
+def test_histogram_reservoir_reset_restores_initial_state():
+    histogram = LatencyHistogram("latency", max_samples=32)
+    for i in range(500):
+        histogram.record(micros(i))
+    first = list(histogram.samples)
+    histogram.reset()
+    assert histogram.count == 0 and histogram.samples == []
+    for i in range(500):
+        histogram.record(micros(i))
+    # the reservoir RNG is re-seeded on reset, so refills are identical
+    assert histogram.samples == first
+
+
+def test_histogram_validates_max_samples():
+    with pytest.raises(ValueError):
+        LatencyHistogram("latency", max_samples=0)
+
+
 def test_counter_factory_idempotent():
     sim = Simulator()
     metrics = MetricsRegistry(sim)

@@ -1,6 +1,5 @@
 """Tests for timed queue gets (the batch fill-deadline mechanism)."""
 
-import pytest
 
 from repro.sim import SimQueue, Simulator, Timeout
 from repro.sim.events import TIMEOUT

@@ -136,6 +136,40 @@ def test_queue_depth_statistics():
     assert len(queue) == 4
 
 
+def test_queue_depth_and_waiters_accessors():
+    sim = Simulator()
+    queue = SimQueue(sim, "q")
+    assert queue.depth == 0 and queue.waiters == 0
+
+    def consumer():
+        yield queue.get()
+
+    sim.spawn(consumer())
+    sim.run()  # consumer now blocked on an empty queue
+    assert queue.waiters == 1
+    queue.put_nowait("x")
+    sim.run()
+    assert queue.waiters == 0
+    queue.put_nowait("y")
+    assert queue.depth == 1
+
+
+def test_queue_stats_snapshot():
+    sim = Simulator()
+    queue = SimQueue(sim, "q")
+    for i in range(3):
+        queue.put_nowait(i)
+    queue.get_nowait()
+    stats = queue.stats()
+    assert stats == {
+        "depth": 2,
+        "enqueued": 3,
+        "dequeued": 1,
+        "max_depth": 3,
+        "mean_wait": 0,
+    }
+
+
 def test_get_nowait_empty_raises():
     sim = Simulator()
     queue = SimQueue(sim, "q")

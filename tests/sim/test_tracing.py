@@ -31,6 +31,17 @@ def test_category_filter():
     assert [r.category for r in tracer.records()] == ["commit"]
 
 
+def test_limit_to_none_clears_filter():
+    # regression: the docstring always promised "None = everything", but
+    # limit_to(None) used to raise TypeError from set(None)
+    tracer = Tracer()
+    tracer.limit_to(["commit"])
+    tracer.limit_to(None)
+    tracer.record(1, "r0", "execute", "x")
+    tracer.record(2, "r0", "commit", "y")
+    assert [r.category for r in tracer.records()] == ["execute", "commit"]
+
+
 def test_bounded_capacity_drops_oldest():
     tracer = Tracer(capacity=3)
     for i in range(5):
@@ -59,7 +70,16 @@ def test_first_divergence():
     a = [TraceRecord(1, "r0", "x", "1"), TraceRecord(2, "r0", "x", "2")]
     b = [TraceRecord(1, "r0", "x", "1"), TraceRecord(2, "r0", "x", "DIFFERENT")]
     assert Tracer.first_divergence(a, b) == 1
-    assert Tracer.first_divergence(a, a[:1]) is None
+    assert Tracer.first_divergence(a, list(a)) is None
+    assert Tracer.first_divergence([], []) is None
+
+
+def test_first_divergence_length_mismatch_is_a_divergence():
+    # regression: a truncated trace used to be reported as "no divergence"
+    a = [TraceRecord(1, "r0", "x", "1"), TraceRecord(2, "r0", "x", "2")]
+    assert Tracer.first_divergence(a, a[:1]) == 1
+    assert Tracer.first_divergence(a[:1], a) == 1
+    assert Tracer.first_divergence([], a) == 0
 
 
 def test_system_level_trace():

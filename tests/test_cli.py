@@ -38,6 +38,86 @@ def test_run_with_crashes(capsys):
     assert code == 0
 
 
+FAST_RUN = [
+    "run",
+    "--replicas", "4",
+    "--clients", "32",
+    "--client-groups", "2",
+    "--batch-size", "4",
+    "--records", "200",
+    "--warmup-ms", "20",
+    "--measure-ms", "40",
+]
+
+
+def test_run_prints_stage_latency_breakdown(capsys):
+    assert main(FAST_RUN) == 0
+    out = capsys.readouterr().out
+    assert "stage latency" in out
+    for column in ("stage", "p50", "p99"):
+        assert column in out
+    for stage in ("input", "batch", "execute", "reply", "total"):
+        assert stage in out
+
+
+def test_run_no_spans_suppresses_stage_table(capsys):
+    assert main(FAST_RUN + ["--no-spans"]) == 0
+    assert "stage latency" not in capsys.readouterr().out
+
+
+def test_run_observability_outputs(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.json"
+    prom = tmp_path / "metrics.prom"
+    js = tmp_path / "metrics.json"
+    csv = tmp_path / "samples.csv"
+    code = main(FAST_RUN + [
+        "--trace-out", str(trace),
+        "--metrics-out", str(prom),
+        "--metrics-json", str(js),
+        "--samples-out", str(csv),
+    ])
+    assert code == 0
+
+    doc = json.loads(trace.read_text())
+    assert doc["traceEvents"] and doc["displayTimeUnit"] == "ns"
+    assert {e["ph"] for e in doc["traceEvents"]} >= {"M", "X"}
+
+    prom_text = prom.read_text()
+    assert "# TYPE repro_txns_completed_total counter" in prom_text
+    assert "repro_stage_total_seconds_count" in prom_text
+
+    metrics = json.loads(js.read_text())
+    assert "total" in metrics["stage_latency"]
+
+    lines = csv.read_text().splitlines()
+    assert lines[0] == "time_ns,series,value"
+    assert len(lines) > 1
+
+    err = capsys.readouterr().err
+    assert "wrote" in err
+
+
+def test_run_rejects_nonpositive_sample_interval(capsys):
+    assert main(FAST_RUN + ["--sample-interval-ms", "0"]) == 2
+    assert "invalid --sample-interval-ms" in capsys.readouterr().err
+
+
+def test_run_rejects_missing_output_directory(capsys):
+    code = main(FAST_RUN + ["--trace-out", "/nonexistent/dir/trace.json"])
+    assert code == 2
+    assert "output directory does not exist" in capsys.readouterr().err
+
+
+def test_run_samples_out_defaults_interval(tmp_path):
+    csv = tmp_path / "samples.csv"
+    assert main(FAST_RUN + ["--samples-out", str(csv)]) == 0
+    # 60ms run at the 5ms default interval -> 12 sampling points
+    times = {line.split(",")[0] for line in csv.read_text().splitlines()[1:]}
+    assert len(times) == 12
+
+
 def test_list_figures(capsys):
     assert main(["list-figures"]) == 0
     out = capsys.readouterr().out

@@ -4,7 +4,6 @@ import os
 import subprocess
 import sys
 
-import pytest
 
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -30,6 +29,14 @@ def test_quickstart_example():
     out = run_example("quickstart.py")
     assert "throughput:" in out
     assert "safety: all replicas agree" in out
+
+
+def test_stage_latency_example():
+    out = run_example("stage_latency.py")
+    for protocol in ("pbft", "zyzzyva", "poe"):
+        assert f"--- {protocol} " in out
+    assert "stage latency" in out
+    assert "largest p99 contributor:" in out
 
 
 def test_stock_exchange_example():

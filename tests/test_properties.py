@@ -5,7 +5,7 @@ import hypothesis.strategies as st
 import pytest
 from hypothesis import given, settings
 
-from repro.consensus import PbftReplica, QuorumConfig
+from repro.consensus import QuorumConfig
 from repro.consensus.safety import SafetyViolation, check_execution_consistency
 from repro.crypto import CmacAesScheme, Ed25519Scheme, KeyStore
 from repro.sim import SimQueue, Simulator
@@ -156,7 +156,6 @@ def test_priority_queue_serves_in_priority_then_fifo_order(entries):
         key=lambda pair: pair[0],
     )]
     # stable sort on priority only
-    import itertools
 
     indexed = sorted(
         enumerate(entries), key=lambda pair: (pair[1][0], pair[0])
