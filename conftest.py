@@ -12,3 +12,31 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+# ----------------------------------------------------------------------
+# deterministic hypothesis profiles (see docs/TESTING.md)
+#
+# "ci" (the default) derandomizes so a property-test verdict is a pure
+# function of the code, matching the fuzzer's reproducibility story;
+# "nightly" trades wall-clock for a much deeper search.  Select with
+# HYPOTHESIS_PROFILE=nightly.
+# ----------------------------------------------------------------------
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis ships with dev deps
+    pass
+else:
+    settings.register_profile(
+        "ci",
+        max_examples=50,
+        deadline=None,
+        derandomize=True,
+        print_blob=True,
+    )
+    settings.register_profile(
+        "nightly",
+        max_examples=400,
+        deadline=None,
+        print_blob=True,
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

@@ -6,6 +6,9 @@ Examples::
     python -m repro run --protocol zyzzyva --crash-backups 1
     python -m repro figure fig10
     python -m repro list-figures
+    python -m repro fuzz --runs 50 --seed 0
+    python -m repro fuzz --runs 1 --seed 0 --offset 17 --shrink
+    python -m repro fuzz --replay artifacts/fuzz-run-17.json
 """
 
 from __future__ import annotations
@@ -72,6 +75,32 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("figure_id", help="e.g. fig10 (see list-figures)")
 
     commands.add_parser("list-figures", help="list regenerable figures")
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="run the deterministic scenario fuzzer",
+        description="Generate randomized deployments (protocol x faults x "
+        "byzantine policies x config), run each through the simulator, and "
+        "judge it against the safety/liveness oracle bank.  Every run is a "
+        "pure function of (--seed, scenario index), so any failure replays "
+        "from the two integers printed with it.",
+    )
+    fuzz.add_argument("--runs", type=int, default=50,
+                      help="number of scenarios to run (default: 50)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign master seed (default: 0)")
+    fuzz.add_argument("--offset", type=int, default=0,
+                      help="first scenario index (replay a specific run "
+                      "with --offset N --runs 1)")
+    fuzz.add_argument("--shrink", action="store_true",
+                      help="shrink failing scenarios to a minimal fault "
+                      "plan (delta debugging)")
+    fuzz.add_argument("--artifacts", metavar="DIR",
+                      help="write failing scenarios as replayable JSON "
+                      "artifacts under DIR")
+    fuzz.add_argument("--replay", metavar="FILE",
+                      help="replay one scenario from an artifact (or bare "
+                      "scenario) JSON file instead of generating")
     return parser
 
 
@@ -189,6 +218,48 @@ def _write_observability(args, system) -> None:
             _write(args.samples_out, sampler_csv(system.sampler), "sampler CSV")
 
 
+def _command_fuzz(args) -> int:
+    from repro.fuzz import fuzz_campaign, load_scenario, run_scenario, shrink_scenario
+
+    if args.replay:
+        if not os.path.isfile(args.replay):
+            print(f"no such artifact: {args.replay}", file=sys.stderr)
+            return 2
+        scenario = load_scenario(args.replay)
+        outcome = run_scenario(scenario)
+        print(outcome.summary())
+        for violation in outcome.violations:
+            print(f"  {violation}")
+        if not outcome.ok and args.shrink:
+            result = shrink_scenario(scenario)
+            print(
+                f"  shrunk {len(scenario.events)} -> "
+                f"{len(result.scenario.events)} event(s) in "
+                f"{result.attempts} attempt(s): {result.scenario.describe()}"
+            )
+        return 0 if outcome.ok else 1
+
+    if args.runs <= 0:
+        print(f"invalid --runs: {args.runs} (must be positive)",
+              file=sys.stderr)
+        return 2
+    report = fuzz_campaign(
+        runs=args.runs,
+        master_seed=args.seed,
+        offset=args.offset,
+        shrink=args.shrink,
+        artifacts_dir=args.artifacts,
+        log=print,
+    )
+    print(
+        f"fuzz: {len(report.outcomes)} run(s), "
+        f"{len(report.failures)} failure(s) "
+        f"(seed {args.seed}, offset {args.offset}) "
+        f"in {report.wall_seconds:.1f}s"
+    )
+    return 0 if report.ok else 1
+
+
 def _command_figure(figure_id: str) -> int:
     registry = _figure_registry()
     fn = registry.get(figure_id)
@@ -213,6 +284,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "figure":
         return _command_figure(args.figure_id)
+    if args.command == "fuzz":
+        return _command_fuzz(args)
     return _command_list()
 
 

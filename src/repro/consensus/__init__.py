@@ -39,7 +39,11 @@ from repro.consensus.messages import (
     ViewChange,
 )
 from repro.consensus.pbft import PbftReplica
-from repro.consensus.safety import check_execution_consistency
+from repro.consensus.safety import (
+    check_bounded_liveness,
+    check_checkpoint_consistency,
+    check_execution_consistency,
+)
 from repro.consensus.zyzzyva import ZyzzyvaReplica
 
 __all__ = [
@@ -64,5 +68,7 @@ __all__ = [
     "StartViewChangeTimer",
     "ViewChange",
     "ZyzzyvaReplica",
+    "check_bounded_liveness",
+    "check_checkpoint_consistency",
     "check_execution_consistency",
 ]

@@ -8,9 +8,16 @@ that safety (single common order, §4.5–4.6) survives behaviours crashes
 never produce:
 
 - ``EquivocatingPrimary`` — proposes different batches to different
-  backups at the same sequence number.
+  backups at the same sequence number, with a forged digest that does not
+  match the batch content (caught by the backups' re-hash check).
+- ``TwoFacedPrimary`` — the sharper equivocation: both proposals carry
+  *correctly computed* digests over different batches, so no local check
+  can reject them — only quorum intersection keeps the cluster in one
+  order.  This is the adversary the fuzzer pairs with deliberately
+  weakened quorums to prove its oracles catch real divergence.
 - ``ConflictingVoter`` — votes (Prepare/Commit/Support) for a corrupted
-  digest instead of the proposed one.
+  digest instead of the proposed one, and corrupts the result digest of
+  speculative responses (driving Zyzzyva clients off the fast path).
 - ``SilentReplica`` — participates in nothing (fail-stop without the
   crash being visible to the transport).
 - ``DelayedReplica`` — withholds every outgoing message for a fixed
@@ -27,7 +34,23 @@ from __future__ import annotations
 from typing import List
 
 from repro.consensus.base import Action, Broadcast, SendTo
-from repro.consensus.messages import Commit, Prepare, PrePrepare
+from repro.consensus.messages import (
+    Commit,
+    OrderRequest,
+    Prepare,
+    PrePrepare,
+    RequestBatch,
+    SpecResponse,
+)
+from repro.consensus.poe import Propose, Support
+from repro.crypto.hashing import digest_bytes
+
+#: message types that carry a proposal (primary → backups) for each engine
+_PROPOSAL_TYPES = (PrePrepare, OrderRequest, Propose)
+
+#: vote messages whose digest a conflicting voter corrupts, per engine:
+#: PBFT prepares/commits, PoE supports
+_VOTE_TYPES = (Prepare, Commit, Support)
 
 
 class AdversaryPolicy:
@@ -59,6 +82,9 @@ class ConflictingVoter(AdversaryPolicy):
     Honest replicas bucket votes by digest, so these votes land in a
     separate bucket and can never help the honest digest reach quorum —
     the behaviour the per-digest vote accounting exists to contain.
+    Under Zyzzyva (where backups vote by answering clients directly) the
+    corrupted ``SpecResponse`` digests deny the all-replica fast path and
+    force clients onto the commit-certificate fallback.
     """
 
     name = "conflicting-voter"
@@ -67,30 +93,58 @@ class ConflictingVoter(AdversaryPolicy):
         transformed: List[Action] = []
         for action in actions:
             message = getattr(action, "message", None)
-            if isinstance(message, (Prepare, Commit)):
+            corrupted = None
+            if isinstance(message, _VOTE_TYPES):
                 corrupted = type(message)(
                     message.sender,
                     message.view,
                     message.sequence,
                     "byzantine:" + (message.digest or ""),
                 )
-                if isinstance(action, Broadcast):
-                    transformed.append(Broadcast(corrupted))
-                else:
-                    transformed.append(SendTo(action.dst, corrupted))
-            else:
+            elif isinstance(message, SpecResponse):
+                corrupted = SpecResponse(
+                    message.sender,
+                    message.request_ids,
+                    message.view,
+                    message.sequence,
+                    "byzantine:" + message.result_digest,
+                    message.history_hash,
+                )
+            if corrupted is None:
                 transformed.append(action)
+            elif isinstance(action, Broadcast):
+                transformed.append(Broadcast(corrupted))
+            else:
+                transformed.append(SendTo(action.dst, corrupted))
         return transformed
+
+
+def _forged_proposal(message, digest: str, batch):
+    """A copy of a proposal message carrying a different batch/digest.
+
+    Always a *fresh* object, even when digest/batch are unchanged: the
+    transport signs messages by mutating ``auth`` in place, so aliasing
+    one object across several ``SendTo`` actions would leave every
+    destination but the last holding a MAC made out for someone else.
+    """
+    if isinstance(message, OrderRequest):
+        return OrderRequest(
+            message.sender, message.view, message.sequence, digest,
+            message.history_hash, batch,
+        )
+    return type(message)(
+        message.sender, message.view, message.sequence, digest, batch
+    )
 
 
 class EquivocatingPrimary(AdversaryPolicy):
     """As primary, send half the backups a different proposal.
 
-    Converts each ``Broadcast(PrePrepare)`` into per-destination sends
-    where the second half of the replica set receives a proposal whose
-    digest does not match the batch — honest backups reject it when they
-    re-hash the batch (§4.3's digest check), so at most one of the two
-    proposals can ever prepare.
+    Converts each broadcast proposal (``PrePrepare`` / ``OrderRequest`` /
+    ``Propose``) into per-destination sends where the second half of the
+    replica set receives a proposal whose digest does not match the batch —
+    honest backups reject it when they re-hash the batch (§4.3's digest
+    check), so at most one of the two proposals can ever prepare.
     """
 
     name = "equivocating-primary"
@@ -99,23 +153,87 @@ class EquivocatingPrimary(AdversaryPolicy):
         transformed: List[Action] = []
         for action in actions:
             message = getattr(action, "message", None)
-            if isinstance(action, Broadcast) and isinstance(message, PrePrepare):
+            if isinstance(action, Broadcast) and isinstance(
+                message, _PROPOSAL_TYPES
+            ):
                 others = [
                     rid for rid in replica.system.replica_ids
                     if rid != replica.replica_id
                 ]
                 half = len(others) // 2
                 for dst in others[:half]:
-                    transformed.append(SendTo(dst, message))
-                forged = PrePrepare(
-                    message.sender,
-                    message.view,
-                    message.sequence,
-                    "equivocation:" + message.digest,
-                    message.request,
-                )
+                    transformed.append(
+                        SendTo(
+                            dst,
+                            _forged_proposal(
+                                message, message.digest, message.request
+                            ),
+                        )
+                    )
                 for dst in others[half:]:
-                    transformed.append(SendTo(dst, forged))
+                    transformed.append(
+                        SendTo(
+                            dst,
+                            _forged_proposal(
+                                message,
+                                "equivocation:" + message.digest,
+                                message.request,
+                            ),
+                        )
+                    )
+            else:
+                transformed.append(action)
+        return transformed
+
+
+class TwoFacedPrimary(AdversaryPolicy):
+    """As primary, propose two *different but internally valid* batches.
+
+    Unlike :class:`EquivocatingPrimary`, both proposals carry digests that
+    correctly hash their batch content (the second batch drops the last
+    request), so the backups' re-hash check passes on both sides.  Against
+    honest quorums this is still safe — two commit quorums intersect in a
+    non-faulty replica, so at most one digest can commit per sequence —
+    which makes this policy the canonical probe for quorum-arithmetic
+    bugs: weaken the quorums and the cluster visibly splits.
+    """
+
+    name = "two-faced-primary"
+
+    def transform(self, replica, actions: List[Action]) -> List[Action]:
+        transformed: List[Action] = []
+        for action in actions:
+            message = getattr(action, "message", None)
+            if (
+                isinstance(action, Broadcast)
+                and isinstance(message, _PROPOSAL_TYPES)
+                and message.request.requests
+            ):
+                alt_batch = RequestBatch(message.request.requests[:-1])
+                alt_batch.digest = digest_bytes(alt_batch.batch_bytes())
+                others = [
+                    rid for rid in replica.system.replica_ids
+                    if rid != replica.replica_id
+                ]
+                half = len(others) // 2
+                for dst in others[:half]:
+                    transformed.append(
+                        SendTo(
+                            dst,
+                            _forged_proposal(
+                                message, message.digest, message.request
+                            ),
+                        )
+                    )
+                for dst in others[half:]:
+                    transformed.append(
+                        SendTo(
+                            dst,
+                            _forged_proposal(
+                                message, alt_batch.digest, alt_batch
+                            ),
+                        )
+                    )
             else:
                 transformed.append(action)
         return transformed
@@ -155,7 +273,12 @@ _POLICIES = {
     "silent": SilentReplica,
     "conflicting-voter": ConflictingVoter,
     "equivocating-primary": EquivocatingPrimary,
+    "two-faced-primary": TwoFacedPrimary,
 }
+
+#: every installable policy name ("delayed" takes a ``delay_ns`` kwarg);
+#: the fuzz generator samples from this list
+POLICY_NAMES = tuple(sorted(_POLICIES)) + ("delayed",)
 
 
 def make_policy(name: str, **kwargs) -> AdversaryPolicy:

@@ -27,7 +27,7 @@ Completion rules:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.consensus.messages import ClientRequest, CommitCertificate
 from repro.sim.events import Timer
@@ -47,6 +47,7 @@ class PendingRequest:
     #: Zyzzyva slow path state
     certificate_sent: bool = False
     certificate_sequence: Optional[int] = None
+    certificate_digest: Optional[str] = None
     local_commits: Set[str] = field(default_factory=set)
     retransmissions: int = 0
 
@@ -75,6 +76,10 @@ class ClientGroup:
         self.completed_requests = 0
         self.fast_path_completions = 0
         self.slow_path_completions = 0
+        #: (request_id, sequence, result digest) per completion, recorded
+        #: when ``config.record_completions`` is on (the fuzzer's reply
+        #: oracle matches these against replica executed logs)
+        self.completion_log: List[Tuple[int, Optional[int], Optional[str]]] = []
 
     # ------------------------------------------------------------------
     def start(self, ramp_ns: int) -> None:
@@ -161,7 +166,11 @@ class ClientGroup:
                         if digest == message.result_digest
                     )
                     if upper_bound or matching >= quorum_needed:
-                        self._complete(request_id, fast=True)
+                        self._complete(
+                            request_id, fast=True,
+                            sequence=message.sequence,
+                            digest=message.result_digest,
+                        )
             elif kind == "spec-response":
                 key = (
                     message.view,
@@ -176,7 +185,11 @@ class ClientGroup:
                     responders = pending.spec_matches.setdefault(key, set())
                     responders.add(message.sender)
                     if len(responders) >= fast_needed:
-                        self._complete(request_id, fast=True)
+                        self._complete(
+                            request_id, fast=True,
+                            sequence=message.sequence,
+                            digest=message.result_digest,
+                        )
             elif kind == "local-commit":
                 # sequence-scoped ack; match any pending request awaiting
                 # certificates for that sequence
@@ -191,7 +204,11 @@ class ClientGroup:
                 continue
             pending.local_commits.add(message.sender)
             if len(pending.local_commits) >= commit_needed:
-                self._complete(request_id, fast=False)
+                self._complete(
+                    request_id, fast=False,
+                    sequence=pending.certificate_sequence,
+                    digest=pending.certificate_digest,
+                )
 
     # ------------------------------------------------------------------
     # Zyzzyva client timer (§5.10)
@@ -210,6 +227,7 @@ class ClientGroup:
                 pending.certificate_sent = True
                 view, sequence, result_digest, _history = best_key
                 pending.certificate_sequence = sequence
+                pending.certificate_digest = result_digest
                 certificate = CommitCertificate(
                     self.name, view, sequence, result_digest,
                     tuple(sorted(responders)[:commit_needed]),
@@ -231,10 +249,18 @@ class ClientGroup:
                   self._on_zyzzyva_timeout, request_id)
 
     # ------------------------------------------------------------------
-    def _complete(self, request_id: int, fast: bool) -> None:
+    def _complete(
+        self,
+        request_id: int,
+        fast: bool,
+        sequence: Optional[int] = None,
+        digest: Optional[str] = None,
+    ) -> None:
         pending = self.pending.pop(request_id, None)
         if pending is None:
             return
+        if self.config.record_completions:
+            self.completion_log.append((request_id, sequence, digest))
         self.completed_requests += 1
         metrics = self.system.metrics
         if fast:

@@ -155,6 +155,12 @@ class SystemConfig:
     #: checkpoints, recoveries) for replay debugging — see
     #: :mod:`repro.sim.tracing`
     trace: bool = False
+    #: record every completed client request's (request id, sequence,
+    #: result digest) on its :class:`~repro.core.clientmgr.ClientGroup` so
+    #: the reply ↔ executed-log oracle (:mod:`repro.fuzz.oracles`) can
+    #: cross-check replies against replica logs.  Off by default to keep
+    #: long benchmark runs from accumulating per-request records.
+    record_completions: bool = False
 
     # -- observability (repro.obs) --------------------------------------------
     #: stamp every client request at each pipeline hand-off and aggregate

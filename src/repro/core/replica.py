@@ -125,6 +125,9 @@ class Replica:
         )
         #: executed (sequence, digest) log, for safety validation
         self.executed_log: List[Tuple[int, str]] = []
+        #: checkpoint sequence -> state digest this replica attested to
+        #: (the checkpoint-consistency oracle cross-checks these)
+        self.checkpoint_digests: Dict[int, str] = {}
         self.state_digest = digest_bytes(b"initial-state")
         self.exec_history_hash = GENESIS_HISTORY  # Zyzzyva history chain
 
@@ -191,6 +194,20 @@ class Replica:
     @property
     def is_primary(self) -> bool:
         return self.engine.primary_of(self.engine.view) == self.replica_id
+
+    @property
+    def committed_watermark(self) -> int:
+        """Highest sequence locally committed (handed to execution),
+        whether or not the execute-thread has reached it yet."""
+        return max(
+            self.next_exec_sequence - 1,
+            max(self.exec_pending, default=0),
+        )
+
+    @property
+    def executed_watermark(self) -> int:
+        """Highest sequence actually executed, in order."""
+        return self.next_exec_sequence - 1
 
     def current_primary(self) -> str:
         return self.engine.primary_of(self.engine.view)
@@ -768,12 +785,27 @@ class Replica:
                     result_digest=batch.digest or "",
                 )
             yield self.cpu.run(costs.response_create_ns, thread_id)
+            # client-bound messages go through the adversary too — a
+            # byzantine replica's power includes lying to clients, and
+            # policies like ConflictingVoter corrupt response digests to
+            # deny Zyzzyva's all-n fast path
+            if self.adversary is not None:
+                for transformed in self.adversary.transform(
+                    self, [SendTo(group, message)]
+                ):
+                    if isinstance(transformed, SendTo):
+                        yield from self._sign_and_queue(
+                            transformed.message, [transformed.dst], thread_id,
+                            scheme=self.system.client_scheme,
+                        )
+                continue
             yield from self._sign_and_queue(
                 message, [group], thread_id, scheme=self.system.client_scheme
             )
 
     def _emit_checkpoint(self, sequence: int, thread_id: str):
         config = self.config
+        self.checkpoint_digests[sequence] = self.state_digest
         yield self.cpu.run(digest_cost(4096, config.crypto_costs), thread_id)
         message = Checkpoint(
             self.replica_id,
@@ -839,7 +871,12 @@ class Replica:
         if self._recovering:
             return
         have = message.have_sequence
-        executed = self.next_exec_sequence - 1
+        # derive the watermark from the log, not next_exec_sequence: the
+        # counter is bumped before the execute-thread's CPU charge, so
+        # mid-execution it claims a sequence whose log entry and state
+        # mutation have not happened yet — a recovering peer adopting that
+        # torn snapshot would be left with a permanent gap in its log
+        executed = self.executed_log[-1][0] if self.executed_log else 0
         if executed <= have:
             return  # nothing to offer
         log_slice = tuple(

@@ -1,0 +1,49 @@
+"""Deterministic scenario fuzzing for the consensus engines (ISSUE 2).
+
+The paper's robustness story (Fig. 17) rests on the engines staying safe
+across the cross-product of faults, byzantine behaviours and config
+knobs — far more scenarios than hand-written tests enumerate.  Because a
+run here is fully determined by its ``(config, seed)`` pair, randomized
+testing comes with perfect reproducibility: this package generates
+randomized deployments (:mod:`~repro.fuzz.generator`), runs each one
+(:mod:`~repro.fuzz.runner`), judges it against a bank of safety and
+liveness oracles (:mod:`~repro.fuzz.oracles`), and on violation emits a
+self-contained JSON repro (:mod:`~repro.fuzz.corpus`) shrunk to a minimal
+fault plan by delta debugging (:mod:`~repro.fuzz.shrinker`).
+
+CLI: ``python -m repro fuzz --runs 50 --seed 0 --shrink``; see
+``docs/TESTING.md`` for the replay workflow.
+"""
+
+from repro.fuzz.corpus import load_scenario, save_artifact
+from repro.fuzz.generator import generate_scenario
+from repro.fuzz.oracles import Violation, check_client_replies, run_oracle_bank
+from repro.fuzz.runner import (
+    BUG_REGISTRY,
+    CampaignReport,
+    RunOutcome,
+    apply_events,
+    fuzz_campaign,
+    run_scenario,
+)
+from repro.fuzz.scenario import FaultEvent, Scenario
+from repro.fuzz.shrinker import ShrinkResult, shrink_scenario
+
+__all__ = [
+    "BUG_REGISTRY",
+    "CampaignReport",
+    "FaultEvent",
+    "RunOutcome",
+    "Scenario",
+    "ShrinkResult",
+    "Violation",
+    "apply_events",
+    "check_client_replies",
+    "fuzz_campaign",
+    "generate_scenario",
+    "load_scenario",
+    "run_oracle_bank",
+    "run_scenario",
+    "save_artifact",
+    "shrink_scenario",
+]

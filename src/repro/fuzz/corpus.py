@@ -1,0 +1,56 @@
+"""Failure artifacts: self-contained JSON repros for failing scenarios.
+
+Each artifact bundles the exact scenario (and its shrunk form, when the
+campaign shrank it) with the violations the oracle bank reported, so a
+failure found anywhere — a nightly CI run, a teammate's machine — replays
+locally with::
+
+    python -m repro fuzz --replay path/to/artifact.json
+
+The loader also accepts a bare ``Scenario.to_json()`` document, so
+hand-written scenarios replay through the same door.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.fuzz.scenario import Scenario
+
+ARTIFACT_VERSION = 1
+
+
+def save_artifact(outcome, directory: str, shrunk: Optional[Scenario] = None) -> str:
+    """Write a failing outcome as a replayable JSON artifact; return path."""
+    os.makedirs(directory, exist_ok=True)
+    scenario = outcome.scenario
+    name = scenario.label or f"seed-{scenario.seed}"
+    path = os.path.join(directory, f"fuzz-{name}.json")
+    payload = {
+        "version": ARTIFACT_VERSION,
+        "scenario": scenario.to_dict(),
+        "violations": [
+            {"oracle": violation.oracle, "message": violation.message}
+            for violation in outcome.violations
+        ],
+        "completed_requests": outcome.completed_requests,
+    }
+    if shrunk is not None:
+        payload["shrunk_scenario"] = shrunk.to_dict()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_scenario(path: str, prefer_shrunk: bool = True) -> Scenario:
+    """Load a scenario from an artifact or a bare scenario JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if "scenario" in payload:  # artifact wrapper
+        if prefer_shrunk and "shrunk_scenario" in payload:
+            return Scenario.from_dict(payload["shrunk_scenario"])
+        return Scenario.from_dict(payload["scenario"])
+    return Scenario.from_dict(payload)

@@ -1,0 +1,150 @@
+"""Randomised scenario generation, deterministically derived from a seed.
+
+``generate_scenario(master_seed, index)`` is a pure function: the same
+``(master_seed, index)`` always yields the same :class:`Scenario` (the
+draws come from a :class:`~repro.sim.rng.DeterministicRNG` forked on that
+pair), so every run of a campaign is replayable from the two integers the
+CLI prints — no corpus file required.
+
+Generated scenarios always stay inside the BFT contract: the number of
+replicas that crash or turn byzantine never exceeds ``f``, partitions
+never isolate more than ``f`` replicas, and primary-only policies
+(equivocation) land on the view-0 primary.  Scenarios that *violate* the
+contract on purpose (the oracle self-tests) are hand-built instead — see
+``BUG_REGISTRY`` in :mod:`repro.fuzz.runner`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.byzantine import POLICY_NAMES
+from repro.fuzz.scenario import (
+    BACKUP_POLICIES,
+    PRIMARY_POLICIES,
+    FaultEvent,
+    Scenario,
+)
+from repro.sim.rng import DeterministicRNG
+
+#: knob pools — kept small so a 50-run campaign finishes in well under two
+#: minutes while still crossing protocol × faults × byzantine × config
+_PROTOCOLS = ("pbft", "zyzzyva", "poe")
+_REPLICA_COUNTS = (4, 4, 4, 5, 7)  # weighted toward fast 4-replica runs
+_CLIENT_COUNTS = (12, 16, 24, 32)
+_GROUP_COUNTS = (1, 2, 4)
+_BATCH_SIZES = (2, 4, 8, 16)
+_CHECKPOINT_TXNS = (24, 48, 96, 10_000)  # 10K = effectively "never"
+
+assert set(PRIMARY_POLICIES) | set(BACKUP_POLICIES) <= set(POLICY_NAMES)
+
+
+def _round(value: float) -> float:
+    return round(value, 3)
+
+
+def generate_scenario(master_seed: int, index: int) -> Scenario:
+    """Deterministically draw scenario ``index`` of campaign ``master_seed``."""
+    rng = DeterministicRNG(master_seed).fork(f"scenario-{index}")
+
+    protocol = rng.choice(_PROTOCOLS)
+    num_replicas = rng.choice(_REPLICA_COUNTS)
+    f = (num_replicas - 1) // 3
+    num_clients = rng.choice(_CLIENT_COUNTS)
+    client_groups = min(rng.choice(_GROUP_COUNTS), num_clients)
+    batch_size = rng.choice(_BATCH_SIZES)
+    # bound the consensus-round count so campaign runs stay ~1s each:
+    # small batches and wide clusters multiply rounds/messages per txn
+    if num_replicas >= 7:
+        batch_size = max(batch_size, 8)
+    if batch_size <= 4:
+        num_clients = min(num_clients, 16)
+    warmup_ms = 25.0
+    measure_ms = _round(rng.uniform(30.0, 50.0))
+    backups = [f"r{i}" for i in range(1, num_replicas)]
+
+    events: List[FaultEvent] = []
+    budget = f
+
+    # -- primary misbehaviour -------------------------------------------
+    if budget and rng.random() < 0.30:
+        budget -= 1
+        events.append(
+            FaultEvent(
+                kind="byzantine",
+                at_ms=0.0,
+                target="r0",
+                policy=rng.choice(PRIMARY_POLICIES),
+            )
+        )
+
+    # -- backup crashes and byzantine policies ---------------------------
+    victim_count = rng.randint(0, budget)
+    victims = rng.sample(backups, victim_count) if victim_count else []
+    for victim in victims:
+        at_ms = _round(rng.uniform(warmup_ms * 0.4, warmup_ms + measure_ms * 0.7))
+        if rng.random() < 0.55:
+            events.append(FaultEvent(kind="crash", at_ms=at_ms, target=victim))
+            if rng.random() < 0.35:
+                recover_at = _round(at_ms + rng.uniform(5.0, 20.0))
+                events.append(
+                    FaultEvent(kind="recover", at_ms=recover_at, target=victim)
+                )
+        else:
+            policy = rng.choice(BACKUP_POLICIES)
+            events.append(
+                FaultEvent(
+                    kind="byzantine",
+                    at_ms=_round(rng.uniform(0.0, at_ms)),
+                    target=victim,
+                    policy=policy,
+                    delay_ms=(
+                        _round(rng.uniform(0.5, 4.0))
+                        if policy == "delayed"
+                        else 0.0
+                    ),
+                )
+            )
+
+    # -- link-level faults (gate the liveness oracle off) ----------------
+    if rng.random() < 0.25:
+        for _ in range(rng.randint(1, 2)):
+            src, dst = rng.sample([f"r{i}" for i in range(num_replicas)], 2)
+            at_ms = _round(rng.uniform(warmup_ms * 0.5, warmup_ms + measure_ms * 0.5))
+            events.append(
+                FaultEvent(
+                    kind="drop-link",
+                    at_ms=at_ms,
+                    src=src,
+                    dst=dst,
+                    probability=_round(rng.uniform(0.01, 0.08)),
+                    until_ms=_round(at_ms + rng.uniform(5.0, 25.0)),
+                )
+            )
+    if f >= 1 and rng.random() < 0.15:
+        isolated = tuple(rng.sample(backups, rng.randint(1, f)))
+        at_ms = _round(rng.uniform(warmup_ms, warmup_ms + measure_ms * 0.4))
+        events.append(
+            FaultEvent(
+                kind="partition",
+                at_ms=at_ms,
+                group=isolated,
+                until_ms=_round(at_ms + rng.uniform(5.0, 20.0)),
+            )
+        )
+
+    return Scenario(
+        seed=master_seed * 1_000_003 + index,
+        protocol=protocol,
+        num_replicas=num_replicas,
+        num_clients=num_clients,
+        client_groups=client_groups,
+        batch_size=batch_size,
+        ops_per_txn=rng.choice((1, 1, 1, 2)),
+        checkpoint_txns=rng.choice(_CHECKPOINT_TXNS),
+        warmup_ms=warmup_ms,
+        measure_ms=measure_ms,
+        zyzzyva_timeout_ms=_round(rng.uniform(5.0, 12.0)),
+        events=tuple(events),
+        label=f"run-{index}",
+    )

@@ -1,0 +1,248 @@
+"""The fuzzer's oracle bank.
+
+Each oracle checks one paper-level guarantee against a finished
+deployment; the runner (:mod:`repro.fuzz.runner`) evaluates all of them
+and reports every violation, not just the first:
+
+- ``execution-order`` — all non-faulty replicas executed consistent
+  prefixes of one common (sequence, digest) order, their chains validate,
+  and replicas at equal log length hold identical state
+  (:func:`repro.consensus.safety.check_execution_consistency` via
+  ``ResilientDBSystem.validate_safety``).  Skipped — along with
+  checkpoint consistency — when a speculative protocol (Zyzzyva, PoE)
+  runs under an equivocating primary: speculative logs may legally
+  diverge until view change repairs them, and the protocols' safety
+  guarantee lives in the client-reply quorums, which stay checked.
+- ``client-replies`` — every completed client request's (sequence, result
+  digest) appears in the executed log of some non-byzantine replica: a
+  reply quorum can never attest to an order nobody honest executed.
+- ``checkpoint-consistency`` — replicas that attested a checkpoint at the
+  same sequence attested the same state digest, and every stabilised
+  checkpoint matches those attestations
+  (:func:`repro.consensus.safety.check_checkpoint_consistency`).
+- ``bounded-liveness`` — every sequence a non-faulty replica had
+  committed by the end of the measurement window was executed once the
+  deployment quiesced (:func:`repro.consensus.safety.check_bounded_liveness`),
+  and the deployment made progress at all.  Only applies while faults stay
+  within ``f``, the view-0 primary is not itself faulted (recovering from
+  a wedged primary takes a view change plus client retransmission, which
+  operate on timescales beyond the fuzz window), and no messages were
+  irrecoverably dropped (``Scenario.has_link_faults``).
+
+``check_client_replies`` is pure data-in/data-out so it is directly
+unit-testable and usable outside the fuzzer, matching the standalone
+checkers in :mod:`repro.consensus.safety`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.consensus.safety import (
+    LivenessViolation,
+    SafetyViolation,
+    check_bounded_liveness,
+    check_checkpoint_consistency,
+)
+from repro.fuzz.scenario import PRIMARY_POLICIES
+from repro.storage.blockchain import ChainViolation
+
+#: protocols that execute speculatively, before agreement completes —
+#: their replica logs may legitimately diverge under an equivocating
+#: primary (repair happens via client certificates / view change); only
+#: client-visible replies carry the safety guarantee there
+_SPECULATIVE_PROTOCOLS = ("zyzzyva", "poe")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure, self-describing for artifacts and logs."""
+
+    oracle: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.message}"
+
+
+# ----------------------------------------------------------------------
+# pure checkers
+# ----------------------------------------------------------------------
+def check_client_replies(
+    completions: Sequence[Tuple[int, Optional[int], Optional[str]]],
+    executed_logs: Mapping[str, Sequence[Tuple[int, str]]],
+    faulty: Sequence[str] = (),
+) -> int:
+    """Every completed reply must match what honest replicas executed.
+
+    ``completions`` is a client group's completion log of (request id,
+    sequence, result digest); ``executed_logs`` maps replica id to its
+    executed (sequence, digest) log.  A completion requires a response
+    quorum containing at least one honest replica, so the attested
+    (sequence, digest) must appear in *some* non-faulty log — a missing
+    sequence means a quorum acknowledged work nobody honest performed; a
+    digest no honest replica executed there means the reply contradicts
+    every honest order.  (Matching any honest log, not one designated
+    log, keeps the check sound when speculative execution legitimately
+    diverges; inter-replica agreement is the execution-order oracle's
+    job.)
+
+    Returns the number of completions cross-checked.
+    """
+    faulty_set = set(faulty)
+    union: Dict[int, Dict[str, str]] = {}
+    for rid in sorted(executed_logs):
+        if rid in faulty_set:
+            continue
+        for sequence, digest in executed_logs[rid]:
+            union.setdefault(sequence, {}).setdefault(digest, rid)
+    checked = 0
+    for request_id, sequence, digest in completions:
+        if sequence is None or digest is None:
+            continue
+        checked += 1
+        executed = union.get(sequence)
+        if executed is None:
+            raise SafetyViolation(
+                f"request {request_id} completed at sequence {sequence} "
+                f"but no non-faulty replica executed that sequence"
+            )
+        if digest not in executed:
+            witness_digest = sorted(executed)[0]
+            raise SafetyViolation(
+                f"request {request_id} completed with digest {digest!r} at "
+                f"sequence {sequence}, but replica "
+                f"{executed[witness_digest]} executed {witness_digest!r} "
+                f"there and no non-faulty replica executed {digest!r}"
+            )
+    return checked
+
+
+# ----------------------------------------------------------------------
+# the bank
+# ----------------------------------------------------------------------
+def run_oracle_bank(
+    system,
+    scenario,
+    committed_snapshot: Optional[Mapping[str, int]] = None,
+) -> List[Violation]:
+    """Evaluate every applicable oracle; return all violations found.
+
+    ``committed_snapshot`` is the per-replica committed watermark sampled
+    *before* the quiesce window (see ``Replica.committed_watermark``); the
+    liveness oracle compares it against executed watermarks now.
+    """
+    violations: List[Violation] = []
+    byzantine = set(scenario.byzantine_targets)
+    ever_crashed = set(scenario.crash_targets)
+    replica_divergence_legal = _speculative_split_possible(scenario)
+
+    # -- execution-order safety + chain validity + state convergence ----
+    if not replica_divergence_legal:
+        try:
+            system.validate_safety(faulty=tuple(sorted(byzantine)))
+        except (SafetyViolation, ChainViolation) as exc:
+            violations.append(Violation("execution-order", str(exc)))
+
+    # -- client replies match executed logs -----------------------------
+    executed_logs = {
+        rid: replica.executed_log for rid, replica in system.replicas.items()
+    }
+    for group in system.client_groups:
+        try:
+            check_client_replies(
+                group.completion_log, executed_logs, faulty=tuple(byzantine)
+            )
+        except SafetyViolation as exc:
+            violations.append(
+                Violation("client-replies", f"{group.name}: {exc}")
+            )
+
+    # -- checkpoint consistency -----------------------------------------
+    if not replica_divergence_legal:
+        histories = {
+            rid: replica.checkpoint_digests
+            for rid, replica in system.replicas.items()
+        }
+        try:
+            check_checkpoint_consistency(
+                histories, faulty=tuple(sorted(byzantine))
+            )
+            _check_stable_digests(system, byzantine)
+        except SafetyViolation as exc:
+            violations.append(Violation("checkpoint-consistency", str(exc)))
+
+    # -- bounded liveness (only while the BFT contract holds) ------------
+    if committed_snapshot is not None and _liveness_applicable(scenario):
+        liveness_faulty = tuple(sorted(byzantine | ever_crashed))
+        executed = {
+            rid: replica.executed_watermark
+            for rid, replica in system.replicas.items()
+        }
+        try:
+            check_bounded_liveness(
+                committed_snapshot, executed, faulty=liveness_faulty
+            )
+        except LivenessViolation as exc:
+            violations.append(Violation("bounded-liveness", str(exc)))
+        completed = sum(
+            group.completed_requests for group in system.client_groups
+        )
+        if completed == 0:
+            violations.append(
+                Violation(
+                    "bounded-liveness",
+                    "deployment made no progress: zero completed requests "
+                    "with faults within f and no link faults",
+                )
+            )
+    return violations
+
+
+def _speculative_split_possible(scenario) -> bool:
+    """True when replica-level logs may legally diverge: a speculative
+    protocol whose view-0 primary runs an equivocation-capable policy."""
+    return scenario.protocol in _SPECULATIVE_PROTOCOLS and any(
+        event.kind == "byzantine"
+        and event.target == "r0"
+        and event.policy in PRIMARY_POLICIES
+        for event in scenario.events
+    )
+
+
+def _liveness_applicable(scenario) -> bool:
+    # "r0" is the view-0 primary by construction (Scenario.to_config);
+    # a faulted primary can legitimately stall view 0 — e.g. a two-faced
+    # primary splits the prepare votes so neither digest reaches quorum —
+    # and the view-change rescue does not fit in the fuzz window
+    return (
+        not scenario.has_link_faults
+        and len(scenario.faulty_replicas) <= scenario.f
+        and "r0" not in scenario.faulty_replicas
+        and scenario.bug is None
+    )
+
+
+def _check_stable_digests(system, byzantine) -> None:
+    """A stabilised checkpoint (2f+1 votes) must agree with the digests
+    non-faulty replicas attested at that sequence."""
+    attested: Dict[int, Tuple[str, str]] = {}
+    for rid in sorted(system.replicas):
+        if rid in byzantine:
+            continue
+        for sequence, digest in system.replicas[rid].checkpoint_digests.items():
+            attested.setdefault(sequence, (rid, digest))
+    for rid in sorted(system.replicas):
+        if rid in byzantine:
+            continue
+        store = system.replicas[rid].checkpoints
+        if store.stable_digest is None:
+            continue
+        entry = attested.get(store.stable_sequence)
+        if entry is not None and entry[1] != store.stable_digest:
+            raise SafetyViolation(
+                f"replica {rid} stabilised checkpoint {store.stable_sequence} "
+                f"with digest {store.stable_digest!r}, but replica {entry[0]} "
+                f"attested {entry[1]!r} there"
+            )

@@ -1,0 +1,88 @@
+"""Shrink a failing scenario to a minimal fault plan.
+
+Classic delta debugging (Zeller's ddmin) over the scenario's injected
+event tuple: deterministically bisect the events into chunks, try
+dropping each chunk (and each complement), keep any reduction that still
+fails, and refine the granularity until no single event can be removed.
+The simulator's determinism makes the oracle verdict a pure function of
+the scenario, so the result is 1-minimal: removing *any* remaining event
+makes the failure disappear.
+
+Config knobs are left alone on purpose — they are a handful of scalars
+the human reads directly from the repro JSON; the event plan is the part
+that grows unwieldy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.fuzz.scenario import FaultEvent, Scenario
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink: the minimal scenario and the search cost."""
+
+    scenario: Scenario
+    attempts: int
+    removed: int
+
+
+def _default_fails(scenario: Scenario) -> bool:
+    from repro.fuzz.runner import run_scenario
+
+    return not run_scenario(scenario).ok
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    fails: Optional[Callable[[Scenario], bool]] = None,
+    max_attempts: int = 64,
+) -> ShrinkResult:
+    """Minimise ``scenario.events`` while ``fails`` keeps returning True.
+
+    ``fails`` defaults to re-running the scenario through the oracle bank
+    (any violation counts).  ``max_attempts`` caps the number of re-runs;
+    fuzz scenarios carry a handful of events, so ddmin converges well
+    inside the default budget.
+    """
+    predicate = fails or _default_fails
+    events: List[FaultEvent] = list(scenario.events)
+    attempts = 0
+
+    def still_fails(candidate_events: List[FaultEvent]) -> bool:
+        nonlocal attempts
+        attempts += 1
+        return predicate(scenario.with_events(candidate_events))
+
+    # degenerate minimum: the config alone reproduces the failure
+    if events and attempts < max_attempts and still_fails([]):
+        return ShrinkResult(scenario.with_events([]), attempts, len(events))
+
+    granularity = 2
+    while len(events) >= 2 and attempts < max_attempts:
+        chunk = max(1, len(events) // granularity)
+        reduced = False
+        start = 0
+        while start < len(events) and attempts < max_attempts:
+            candidate = events[:start] + events[start + chunk:]
+            if candidate != events and still_fails(candidate):
+                events = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # re-scan from the front at the same granularity
+                start = 0
+                chunk = max(1, len(events) // granularity)
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(events):
+                break
+            granularity = min(len(events), granularity * 2)
+    return ShrinkResult(
+        scenario.with_events(events),
+        attempts,
+        len(scenario.events) - len(events),
+    )

@@ -12,7 +12,7 @@ count toward stability).
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 
 class CheckpointStore:
@@ -26,6 +26,10 @@ class CheckpointStore:
         #: (sequence, digest) -> set of voter ids
         self._votes: Dict[Tuple[int, str], Set[str]] = {}
         self.stable_sequence: int = 0
+        #: digest the current stable checkpoint was attested with (None
+        #: until the first checkpoint stabilises) — the fuzzer's
+        #: checkpoint-consistency oracle compares these across replicas
+        self.stable_digest: Optional[str] = None
         self._previous_stable: int = 0
 
     def is_checkpoint_sequence(self, sequence: int) -> bool:
@@ -44,6 +48,7 @@ class CheckpointStore:
         if len(voters) >= self.quorum_size:
             self._previous_stable = self.stable_sequence
             self.stable_sequence = sequence
+            self.stable_digest = digest
             # every vote set at or below the new stable horizon is moot
             self._votes = {
                 key: value for key, value in self._votes.items() if key[0] > sequence

@@ -1,0 +1,101 @@
+"""Direct unit tests of the standalone safety/liveness oracles.
+
+These checkers (``repro.consensus.safety``) take plain data, so each
+invariant is pinned down here against hand-built histories before the
+fuzzer composes them into its oracle bank (``repro.fuzz.oracles``).
+"""
+
+import pytest
+
+from repro.consensus.safety import (
+    LivenessViolation,
+    SafetyViolation,
+    check_bounded_liveness,
+    check_checkpoint_consistency,
+)
+
+
+# ----------------------------------------------------------------------
+# checkpoint consistency
+# ----------------------------------------------------------------------
+def test_checkpoint_agreement_passes_and_counts():
+    histories = {
+        "r0": {10: "dA", 20: "dB"},
+        "r1": {10: "dA", 20: "dB", 30: "dC"},
+        "r2": {10: "dA"},
+    }
+    assert check_checkpoint_consistency(histories) == 3
+
+
+def test_checkpoint_divergence_detected():
+    histories = {
+        "r0": {10: "dA", 20: "dB"},
+        "r1": {10: "dA", 20: "dX"},
+    }
+    with pytest.raises(SafetyViolation, match="sequence 20"):
+        check_checkpoint_consistency(histories)
+
+
+def test_checkpoint_faulty_replicas_excluded():
+    histories = {
+        "r0": {10: "dA"},
+        "r1": {10: "dA"},
+        "r2": {10: "lying"},
+    }
+    with pytest.raises(SafetyViolation):
+        check_checkpoint_consistency(histories)
+    assert check_checkpoint_consistency(histories, faulty=("r2",)) == 1
+
+
+def test_checkpoint_disjoint_sequences_never_conflict():
+    # replicas at different checkpoint cadences share no sequence; there
+    # is nothing to cross-check, and that is not a violation
+    histories = {"r0": {10: "dA"}, "r1": {20: "dB"}}
+    assert check_checkpoint_consistency(histories) == 2
+
+
+def test_checkpoint_empty_histories_ok():
+    assert check_checkpoint_consistency({}) == 0
+    assert check_checkpoint_consistency({"r0": {}, "r1": {}}) == 0
+
+
+# ----------------------------------------------------------------------
+# bounded liveness
+# ----------------------------------------------------------------------
+def test_liveness_caught_up_passes_and_reports_highest():
+    committed = {"r0": 40, "r1": 38, "r2": 40}
+    executed = {"r0": 40, "r1": 40, "r2": 41}
+    assert check_bounded_liveness(committed, executed) == 40
+
+
+def test_liveness_wedged_replica_detected():
+    committed = {"r0": 40, "r1": 40}
+    executed = {"r0": 40, "r1": 12}  # parked behind an execution gap
+    with pytest.raises(LivenessViolation, match="r1"):
+        check_bounded_liveness(committed, executed)
+
+
+def test_liveness_max_lag_tolerance():
+    committed = {"r0": 40}
+    executed = {"r0": 38}
+    with pytest.raises(LivenessViolation):
+        check_bounded_liveness(committed, executed)
+    assert check_bounded_liveness(committed, executed, max_lag=2) == 40
+
+
+def test_liveness_faulty_replicas_exempt():
+    committed = {"r0": 40, "r1": 40}
+    executed = {"r0": 40, "r1": 0}
+    with pytest.raises(LivenessViolation):
+        check_bounded_liveness(committed, executed)
+    # a crashed/byzantine replica is allowed to be arbitrarily behind
+    assert check_bounded_liveness(committed, executed, faulty=("r1",)) == 40
+
+
+def test_liveness_missing_executed_entry_counts_as_zero():
+    with pytest.raises(LivenessViolation):
+        check_bounded_liveness({"r0": 5}, {})
+
+
+def test_liveness_empty_deployment_passes():
+    assert check_bounded_liveness({}, {}) == 0

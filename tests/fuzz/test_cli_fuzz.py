@@ -1,0 +1,30 @@
+"""CLI surface of the fuzzer: campaign, replay, argument validation."""
+
+from repro.cli import main
+from tests.fuzz.test_runner_shrinker import BUG_SCENARIO
+
+
+def test_fuzz_campaign_smoke(capsys):
+    assert main(["fuzz", "--runs", "2", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "fuzz: 2 run(s), 0 failure(s) (seed 0, offset 0)" in out
+    assert "run-0" in out and "run-1" in out
+
+
+def test_fuzz_rejects_nonpositive_runs(capsys):
+    assert main(["fuzz", "--runs", "0"]) == 2
+    assert "invalid --runs" in capsys.readouterr().err
+
+
+def test_fuzz_replay_missing_artifact(capsys):
+    assert main(["fuzz", "--replay", "/no/such/artifact.json"]) == 2
+    assert "no such artifact" in capsys.readouterr().err
+
+
+def test_fuzz_replay_failing_scenario(tmp_path, capsys):
+    path = tmp_path / "bug.json"
+    path.write_text(BUG_SCENARIO.to_json())
+    assert main(["fuzz", "--replay", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "violation" in out
+    assert "[execution-order]" in out

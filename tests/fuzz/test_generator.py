@@ -1,0 +1,57 @@
+"""Generator guarantees: determinism and staying inside the BFT contract."""
+
+from repro.core.byzantine import POLICY_NAMES
+from repro.fuzz.generator import generate_scenario
+from repro.fuzz.scenario import PRIMARY_POLICIES
+
+_SWEEP = [(0, i) for i in range(40)] + [(123, i) for i in range(10)]
+
+
+def test_same_seed_and_index_is_bit_identical():
+    for master_seed, index in ((0, 0), (0, 17), (9, 3)):
+        first = generate_scenario(master_seed, index)
+        again = generate_scenario(master_seed, index)
+        assert first == again
+        assert first.to_json() == again.to_json()
+
+
+def test_distinct_indices_draw_distinct_scenarios():
+    scenarios = [generate_scenario(0, i) for i in range(20)]
+    assert len({s.to_json() for s in scenarios}) == 20
+    # the per-run seed embeds the index, so no two runs share a seed
+    assert len({s.seed for s in scenarios}) == 20
+
+
+def test_generated_faults_stay_within_f():
+    for master_seed, index in _SWEEP:
+        scenario = generate_scenario(master_seed, index)
+        assert len(scenario.faulty_replicas) <= scenario.f, scenario.describe()
+
+
+def test_generated_policies_are_installable():
+    for master_seed, index in _SWEEP:
+        scenario = generate_scenario(master_seed, index)
+        for event in scenario.events:
+            if event.kind != "byzantine":
+                continue
+            assert event.policy in POLICY_NAMES
+            # proposal-transforming policies only matter on the primary
+            if event.policy in PRIMARY_POLICIES:
+                assert event.target == "r0"
+
+
+def test_generated_scenarios_never_inject_bugs():
+    # deliberate defects are reserved for the oracle self-tests
+    assert all(
+        generate_scenario(s, i).bug is None for s, i in _SWEEP
+    )
+
+
+def test_generator_respects_cost_guards():
+    for master_seed, index in _SWEEP:
+        scenario = generate_scenario(master_seed, index)
+        if scenario.num_replicas >= 7:
+            assert scenario.batch_size >= 8
+        if scenario.batch_size <= 4:
+            assert scenario.num_clients <= 16
+        assert scenario.client_groups <= scenario.num_clients

@@ -1,0 +1,87 @@
+"""Scenario data model: serialisation, derived properties, config mapping."""
+
+import pytest
+
+from repro.fuzz.scenario import FaultEvent, Scenario
+from repro.sim.clock import millis
+
+
+def _sample_scenario():
+    return Scenario(
+        seed=42,
+        protocol="zyzzyva",
+        num_replicas=7,
+        num_clients=32,
+        client_groups=4,
+        batch_size=8,
+        checkpoint_txns=96,
+        measure_ms=45.5,
+        zyzzyva_timeout_ms=9.25,
+        events=(
+            FaultEvent(kind="byzantine", at_ms=0.0, target="r0",
+                       policy="equivocating-primary"),
+            FaultEvent(kind="crash", at_ms=30.0, target="r3"),
+            FaultEvent(kind="recover", at_ms=41.0, target="r3"),
+            FaultEvent(kind="drop-link", at_ms=28.0, src="r1", dst="r2",
+                       probability=0.05, until_ms=44.0),
+            FaultEvent(kind="partition", at_ms=35.0, group=("r5", "r6"),
+                       until_ms=50.0),
+        ),
+        label="sample",
+    )
+
+
+def test_json_round_trip_is_lossless():
+    scenario = _sample_scenario()
+    assert Scenario.from_json(scenario.to_json()) == scenario
+
+
+def test_round_trip_preserves_event_tuple_types():
+    # JSON turns tuples into lists; from_dict must restore real
+    # FaultEvent instances (and tuple groups) or replay diverges
+    restored = Scenario.from_json(_sample_scenario().to_json())
+    assert isinstance(restored.events, tuple)
+    assert all(isinstance(event, FaultEvent) for event in restored.events)
+    partition = restored.events[-1]
+    assert partition.group == ("r5", "r6")
+
+
+def test_unknown_event_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fault event kind"):
+        FaultEvent(kind="meteor-strike")
+
+
+def test_to_config_maps_every_knob():
+    scenario = _sample_scenario()
+    config = scenario.to_config()
+    assert config.protocol == "zyzzyva"
+    assert config.num_replicas == 7
+    assert config.num_clients == 32
+    assert config.client_groups == 4
+    assert config.batch_size == 8
+    assert config.checkpoint_txns == 96
+    assert config.seed == 42
+    assert config.measure == millis(45.5)
+    assert config.zyzzyva_client_timeout == millis(9.25)
+    # the client-replies oracle needs the completion log
+    assert config.record_completions is True
+
+
+def test_derived_fault_properties():
+    scenario = _sample_scenario()
+    assert scenario.f == 2
+    assert scenario.byzantine_targets == ("r0",)
+    assert scenario.crash_targets == ("r3",)
+    assert scenario.faulty_replicas == ("r0", "r3")
+    assert scenario.has_link_faults is True
+    quiet = Scenario(events=(FaultEvent(kind="crash", target="r1"),))
+    assert quiet.has_link_faults is False
+    assert quiet.faulty_replicas == ("r1",)
+
+
+def test_describe_mentions_every_event():
+    text = _sample_scenario().describe()
+    for fragment in ("zyzzyva n=7 f=2", "equivocating-primary", "crash r3",
+                     "recover r3", "drop r1->r2", "partition {r5,r6}"):
+        assert fragment in text
+    assert "(fault-free)" in Scenario().describe()
