@@ -12,6 +12,7 @@ import sys
 import pytest
 
 _RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 # make the in-tree package importable exactly like the root conftest does
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
@@ -24,6 +25,8 @@ def record_figure():
     """Returns a callback that prints and persists a FigureResult."""
 
     def _record(figure):
+        from repro.bench.report import write_figure_json
+
         table = figure.format_table()
         print()
         print(table)
@@ -31,6 +34,11 @@ def record_figure():
         path = os.path.join(_RESULTS_DIR, f"{figure.figure_id}.txt")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(table + "\n")
+        # machine-readable twin at the repo root (throughput, latency
+        # percentiles in point extras, config in meta)
+        write_figure_json(
+            figure, os.path.join(_REPO_ROOT, f"BENCH_{figure.figure_id}.json")
+        )
         return figure
 
     return _record

@@ -25,6 +25,7 @@ from repro.bench.experiments import (
     fig15_clients,
     fig16_cores,
     fig17_failures,
+    fig18_rcc_scaling,
 )
 from repro.bench.report import FigureResult, Series, SeriesPoint
 from repro.bench.runner import run_config
@@ -45,5 +46,6 @@ __all__ = [
     "fig15_clients",
     "fig16_cores",
     "fig17_failures",
+    "fig18_rcc_scaling",
     "run_config",
 ]

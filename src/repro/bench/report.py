@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -64,6 +65,9 @@ class FigureResult:
     x_label: str
     series: List[Series] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: free-form run metadata (config knobs, scale) carried into the JSON
+    #: export so a ``BENCH_<id>.json`` is self-describing
+    meta: Dict[str, object] = field(default_factory=dict)
 
     def get(self, name: str) -> Series:
         for series in self.series:
@@ -112,3 +116,40 @@ class FigureResult:
 
     def print(self) -> None:  # pragma: no cover - console output
         print(self.format_table())
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A machine-readable mirror of :meth:`format_table`: every series
+        point with its throughput, mean latency and extras (the ``_point``
+        helper stashes p99 latency and ops/s there)."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "meta": dict(self.meta),
+            "notes": list(self.notes),
+            "series": [
+                {
+                    "name": series.name,
+                    "points": [
+                        {
+                            "x": point.x,
+                            "throughput_txns_per_s": point.throughput_txns_per_s,
+                            "latency_s": point.latency_s,
+                            "extra": dict(point.extra),
+                        }
+                        for point in series.points
+                    ],
+                }
+                for series in self.series
+            ],
+        }
+
+
+def write_figure_json(figure: FigureResult, path: str) -> str:
+    """Persist ``figure`` as JSON (the ``BENCH_<figure_id>.json`` export
+    the bench harness drops at the repo root).  Returns ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(figure.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -31,8 +31,11 @@ def _build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     run = commands.add_parser("run", help="run one deployment and report")
-    run.add_argument("--protocol", choices=("pbft", "zyzzyva", "poe"),
+    run.add_argument("--protocol", choices=("pbft", "zyzzyva", "poe", "rcc"),
                      default="pbft")
+    run.add_argument("--primaries", type=int, default=None, metavar="M",
+                     help="concurrent consensus instances for --protocol "
+                     "rcc (default: 2 for rcc, 1 otherwise)")
     run.add_argument("--replicas", type=int, default=16)
     run.add_argument("--clients", type=int, default=8_000)
     run.add_argument("--client-groups", type=int, default=8)
@@ -131,8 +134,15 @@ def _command_run(args) -> int:
                 print(f"output directory does not exist: {parent}",
                       file=sys.stderr)
                 return 2
+    primaries = args.primaries
+    if primaries is None:
+        primaries = 2 if args.protocol == "rcc" else 1
+    if args.protocol != "rcc" and primaries != 1:
+        print("--primaries requires --protocol rcc", file=sys.stderr)
+        return 2
     config = SystemConfig(
         protocol=args.protocol,
+        num_primaries=primaries,
         num_replicas=args.replicas,
         num_clients=args.clients,
         client_groups=args.client_groups,

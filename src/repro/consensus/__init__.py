@@ -19,10 +19,13 @@ from repro.consensus.base import (
     Action,
     Broadcast,
     ExecuteReady,
+    NotPrimaryError,
+    ProposalError,
     QuorumConfig,
     SendTo,
     StartViewChangeTimer,
     CancelViewChangeTimer,
+    ViewChangeInProgress,
 )
 from repro.consensus.messages import (
     Checkpoint,
@@ -58,15 +61,18 @@ __all__ = [
     "ExecuteReady",
     "LocalCommit",
     "NewView",
+    "NotPrimaryError",
     "OrderRequest",
     "PbftReplica",
     "Prepare",
     "PrePrepare",
+    "ProposalError",
     "QuorumConfig",
     "SendTo",
     "SpecResponse",
     "StartViewChangeTimer",
     "ViewChange",
+    "ViewChangeInProgress",
     "ZyzzyvaReplica",
     "check_bounded_liveness",
     "check_checkpoint_consistency",

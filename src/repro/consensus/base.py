@@ -78,6 +78,23 @@ class QuorumConfig:
 
 
 # ----------------------------------------------------------------------
+# typed proposal failures
+# ----------------------------------------------------------------------
+class ProposalError(RuntimeError):
+    """A proposal could not be made.  Subclasses say why, so a host (or
+    the multi-instance coordinator) can catch per-engine and re-steer the
+    batch instead of crashing the replica."""
+
+
+class NotPrimaryError(ProposalError):
+    """The engine asked to propose is not the primary of its view."""
+
+
+class ViewChangeInProgress(ProposalError):
+    """The engine is mid view change; proposals resume in the new view."""
+
+
+# ----------------------------------------------------------------------
 # actions
 # ----------------------------------------------------------------------
 class Action:

@@ -32,8 +32,11 @@ from repro.consensus.base import (
     CancelViewChangeTimer,
     EnterView,
     ExecuteReady,
+    NotPrimaryError,
+    ProposalError,
     QuorumConfig,
     StartViewChangeTimer,
+    ViewChangeInProgress,
 )
 from repro.consensus.messages import (
     ClientRequest,
@@ -124,12 +127,14 @@ class PbftReplica:
         The caller (batch-thread) computed and paid for ``digest``.
         """
         if not self.is_primary:
-            raise RuntimeError(f"{self.replica_id} is not primary of view {self.view}")
+            raise NotPrimaryError(
+                f"{self.replica_id} is not primary of view {self.view}"
+            )
         if self.in_view_change:
-            raise RuntimeError("cannot propose during a view change")
+            raise ViewChangeInProgress("cannot propose during a view change")
         slot = self._slot(sequence)
         if slot.preprepare is not None:
-            raise RuntimeError(f"sequence {sequence} already proposed")
+            raise ProposalError(f"sequence {sequence} already proposed")
         message = PrePrepare(self.replica_id, self.view, sequence, digest, request)
         slot.preprepare = message
         slot.digest = digest

@@ -112,7 +112,11 @@ class ConflictingVoter(AdversaryPolicy):
                 )
             if corrupted is None:
                 transformed.append(action)
-            elif isinstance(action, Broadcast):
+                continue
+            # a vote only counts in its own consensus instance; keep the
+            # lane id so corruption is not just silently rejected routing
+            corrupted.instance = message.instance
+            if isinstance(action, Broadcast):
                 transformed.append(Broadcast(corrupted))
             else:
                 transformed.append(SendTo(action.dst, corrupted))
@@ -128,13 +132,16 @@ def _forged_proposal(message, digest: str, batch):
     destination but the last holding a MAC made out for someone else.
     """
     if isinstance(message, OrderRequest):
-        return OrderRequest(
+        forged = OrderRequest(
             message.sender, message.view, message.sequence, digest,
             message.history_hash, batch,
         )
-    return type(message)(
-        message.sender, message.view, message.sequence, digest, batch
-    )
+    else:
+        forged = type(message)(
+            message.sender, message.view, message.sequence, digest, batch
+        )
+    forged.instance = message.instance  # equivocate within the same lane
+    return forged
 
 
 class EquivocatingPrimary(AdversaryPolicy):

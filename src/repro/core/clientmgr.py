@@ -102,9 +102,12 @@ class ClientGroup:
             for _ in range(config.client_batch_txns)
         )
         request = ClientRequest(self.name, request_id, txns)
+        # multi-primary RCC steers each request to its lane's primary;
+        # single-primary protocols contact the initial primary
+        target = self.system.steer_replica(self.name, request_id)
         if config.real_auth_tokens:
             request.auth, _ = self.system.client_scheme.authenticate(
-                request.signable_bytes(), self.name, [self.system.replica_ids[0]]
+                request.signable_bytes(), self.name, [target]
             )
         self.pending[request_id] = PendingRequest(
             submitted_at=self.sim.now, txn_count=len(txns)
@@ -112,7 +115,7 @@ class ClientGroup:
         spans = self.system.spans
         if spans.enabled:
             spans.begin((self.name, request_id), self.sim.now)
-        self.system.network.send(self.name, self.system.contact_replica(), request)
+        self.system.network.send(self.name, target, request)
         if config.protocol == "zyzzyva":
             Timer(
                 self.sim,
@@ -129,10 +132,23 @@ class ClientGroup:
         if pending is None:
             return
         pending.retransmissions += 1
-        # PBFT clients that suspect the primary broadcast to all replicas,
-        # which forward to the current primary
-        for rid in self.system.replica_ids:
-            self.system.network.send(self.name, rid, request)
+        replica_ids = self.system.replica_ids
+        if self.config.protocol == "rcc":
+            # the steer target may be a dead lane primary; fail over to a
+            # single rotating fallback, which forwards to the lane's
+            # *current* primary — broadcasting from every steered-away
+            # client would square the message load under one crash
+            target = self.system.steer_replica(self.name, request_id)
+            index = replica_ids.index(target)
+            fallback = replica_ids[
+                (index + pending.retransmissions) % len(replica_ids)
+            ]
+            self.system.network.send(self.name, fallback, request)
+        else:
+            # PBFT clients that suspect the primary broadcast to all
+            # replicas, which forward to the current primary
+            for rid in replica_ids:
+                self.system.network.send(self.name, rid, request)
         if self.config.client_retransmit is not None:
             Timer(self.sim, self.config.client_retransmit, self._on_retransmit,
                   request_id, request)

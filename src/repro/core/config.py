@@ -62,11 +62,18 @@ class SystemConfig:
     """Full description of one deployment + workload + measurement run."""
 
     # -- deployment ----------------------------------------------------
-    protocol: str = "pbft"  # "pbft" | "zyzzyva" | "poe" (extension)
+    protocol: str = "pbft"  # "pbft" | "zyzzyva" | "poe" | "rcc" (extensions)
     num_replicas: int = 16
     cores_per_replica: int = 8
     #: None → maximum f for the replica count
     faults_tolerated: Optional[int] = None
+    #: concurrent consensus instances for multi-primary RCC (protocol
+    #: "rcc"): instance k's view-0 primary is replica k.  Ignored by the
+    #: single-primary protocols.
+    num_primaries: int = 1
+    #: how often an RCC lane leader runs its balance pass, committing
+    #: null-batch skip certificates for lanes that fell behind the merge
+    rcc_balance_interval: int = millis(2)
 
     # -- pipeline (Figures 6a/6b) ---------------------------------------
     batch_threads: int = 2  # "B" in Fig. 8; 0 = worker does batching
@@ -183,10 +190,14 @@ class SystemConfig:
 
     # ------------------------------------------------------------------
     def __post_init__(self):
-        if self.protocol not in ("pbft", "zyzzyva", "poe"):
+        if self.protocol not in ("pbft", "zyzzyva", "poe", "rcc"):
             raise ValueError(f"unknown protocol {self.protocol!r}")
         if self.num_replicas < 4:
             raise ValueError("BFT needs at least 4 replicas")
+        if not 1 <= self.num_primaries <= self.num_replicas:
+            raise ValueError("num_primaries must be in [1, num_replicas]")
+        if self.rcc_balance_interval < 1:
+            raise ValueError("rcc_balance_interval must be >= 1 tick")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if self.client_batch_txns < 1:

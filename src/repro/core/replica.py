@@ -40,6 +40,7 @@ from repro.consensus.base import (
     CancelViewChangeTimer,
     EnterView,
     ExecuteReady,
+    ProposalError,
     QuorumConfig,
     SendTo,
     StartViewChangeTimer,
@@ -55,6 +56,8 @@ from repro.consensus.pbft import PbftReplica
 from repro.consensus.poe import PoeReplica
 from repro.consensus.zyzzyva import GENESIS_HISTORY, ZyzzyvaReplica, extend_history
 from repro.crypto.hashing import digest_bytes, digest_cost
+from repro.multi.coordinator import InstanceCoordinator
+from repro.multi.unifier import global_sequence
 from repro.net.message import Message
 from repro.sim.events import SimEvent, Timer
 from repro.sim.queues import SimPriorityQueue, SimQueue
@@ -89,6 +92,10 @@ class Replica:
             self.engine = PbftReplica(replica_id, replica_ids, quorum)
         elif config.protocol == "zyzzyva":
             self.engine = ZyzzyvaReplica(replica_id, replica_ids, quorum)
+        elif config.protocol == "rcc":
+            self.engine = InstanceCoordinator(
+                replica_id, replica_ids, quorum, config.num_primaries
+            )
         else:
             self.engine = PoeReplica(replica_id, replica_ids, quorum)
 
@@ -188,11 +195,17 @@ class Replica:
                 self.sim.spawn(
                     self._execute_loop(), name=f"{self.replica_id}.execute"
                 )
+            if isinstance(self.engine, InstanceCoordinator):
+                self.sim.spawn(
+                    self._balance_loop(), name=f"{self.replica_id}.balance"
+                )
         for i in range(config.output_threads):
             self.sim.spawn(self._output_loop(i), name=f"{self.replica_id}.output-{i}")
 
     @property
     def is_primary(self) -> bool:
+        if isinstance(self.engine, InstanceCoordinator):
+            return self.engine.leads_any()
         return self.engine.primary_of(self.engine.view) == self.replica_id
 
     @property
@@ -210,7 +223,19 @@ class Replica:
         return self.next_exec_sequence - 1
 
     def current_primary(self) -> str:
+        if isinstance(self.engine, InstanceCoordinator):
+            # multi-primary: "the" primary is lane 0's (for attribution
+            # only; forwarding uses the request's steer lane instead)
+            return self.engine.instances[0].primary_of(
+                self.engine.instances[0].view
+            )
         return self.engine.primary_of(self.engine.view)
+
+    def _forward_target_for(self, request: ClientRequest) -> str:
+        """Where a non-leading replica forwards this client request."""
+        if isinstance(self.engine, InstanceCoordinator):
+            return self.engine.forward_target(request.sender, request.request_id)
+        return self.current_primary()
 
     # ==================================================================
     # input threads (§4.1)
@@ -240,7 +265,7 @@ class Replica:
         if not self.is_primary:
             # forward to the current primary (client may not know the view)
             self.forwarded_requests += 1
-            self._enqueue_output(self.current_primary(), message)
+            self._enqueue_output(self._forward_target_for(message), message)
             # classic PBFT: adopting a forwarded request arms a probe — if
             # the system makes no progress before it fires, the primary is
             # suspected and a view change begins
@@ -335,7 +360,7 @@ class Replica:
             # view changed while this batch was being formed; forward the
             # raw requests to the new primary
             for request in valid_requests:
-                self._enqueue_output(self.current_primary(), request)
+                self._enqueue_output(self._forward_target_for(request), request)
             if self._consensus_token is not None:
                 self._consensus_token.put_nowait(None)
             return
@@ -345,6 +370,19 @@ class Replica:
             proposal, actions = self.engine.make_preprepare(
                 sequence, batch.digest, batch
             )
+        elif config.protocol == "rcc":
+            try:
+                proposal, actions = self.engine.propose(batch.digest, batch)
+            except ProposalError:
+                # every led lane wedged mid-flight (view changes); re-steer
+                # the raw requests to their lanes' new primaries
+                for request in valid_requests:
+                    self._enqueue_output(
+                        self._forward_target_for(request), request
+                    )
+                if self._consensus_token is not None:
+                    self._consensus_token.put_nowait(None)
+                return
         elif config.protocol == "zyzzyva":
             # the Zyzzyva engine assigns the sequence and extends the
             # primary history hash; charge that hash here
@@ -511,9 +549,15 @@ class Replica:
                     "commit",  # PBFT: broadcasting Commit == prepared
                     "poe-support",  # PoE: broadcasting Support == endorsed
                 ):
-                    spans.stamp_sequence(
-                        action.message.sequence, "prepare", self.sim.now
-                    )
+                    sequence = action.message.sequence
+                    if isinstance(self.engine, InstanceCoordinator):
+                        # lane-local sequence → the global slot spans track
+                        sequence = global_sequence(
+                            action.message.instance,
+                            sequence,
+                            self.engine.num_instances,
+                        )
+                    spans.stamp_sequence(sequence, "prepare", self.sim.now)
                 receivers = [
                     rid for rid in self.system.replica_ids if rid != self.replica_id
                 ]
@@ -559,6 +603,27 @@ class Replica:
         self.output_queues[index].put_nowait((dst, message))
 
     # ==================================================================
+    # multi-primary (RCC) lane balancing
+    # ==================================================================
+    def _balance_loop(self):
+        """Periodic skip-certificate pass for the lanes this replica
+        leads: commits null batches into lanes that fell behind the
+        round-robin merge, so one idle or failed lane cannot wedge the
+        global execution order.  Runs through quiescence too — that is
+        what levels the lanes after the workload stops."""
+        from repro.sim.events import Timeout
+
+        thread_id = f"{self.replica_id}.worker"
+        interval = max(1, self.config.rcc_balance_interval)
+        while True:
+            yield Timeout(interval)
+            if self._recovering:
+                continue
+            actions = self.engine.balance_actions()
+            if actions:
+                yield from self._dispatch(actions, thread_id)
+
+    # ==================================================================
     # view-change timers
     # ==================================================================
     def _arm_vc_timer(self, sequence: int) -> None:
@@ -570,7 +635,7 @@ class Replica:
 
     def _on_vc_timeout(self, sequence: int) -> None:
         self._vc_timers.pop(sequence, None)
-        if not isinstance(self.engine, PbftReplica):
+        if not isinstance(self.engine, (PbftReplica, InstanceCoordinator)):
             return
         actions = self.engine.on_view_change_timeout(sequence)
         if actions:
@@ -581,7 +646,7 @@ class Replica:
 
     def _arm_forward_probe(self) -> None:
         if self._forward_probe is not None or not isinstance(
-            self.engine, PbftReplica
+            self.engine, (PbftReplica, InstanceCoordinator)
         ):
             return
         self._forward_probe = (len(self.executed_log), self.engine.view)
@@ -747,11 +812,15 @@ class Replica:
                     (rid, b"speculative")
                     for rid in self.system.replica_ids[: self.quorum.commit_quorum]
                 )
+        if isinstance(self.engine, InstanceCoordinator):
+            proposer = self.engine.proposer_of(action.sequence, action.view)
+        else:
+            proposer = self.engine.primary_of(action.view)
         block = Block(
             sequence=action.sequence,
             digest=batch.digest or "",
             view=action.view,
-            proposer=self.engine.primary_of(action.view),
+            proposer=proposer,
             txn_count=batch.txn_count,
             prev_hash=prev_hash,
             commit_certificate=certificate,
@@ -937,12 +1006,19 @@ class Replica:
         }
         if response.blocks:
             self.chain.adopt(response.blocks, response.pruned_through)
+        if isinstance(self.engine, InstanceCoordinator):
+            # fold the adopted entries into the per-lane commit logs so
+            # the unification invariant (executed ⊆ lane commits) holds
+            # across recovery
+            self.engine.absorb_adopted_log(response.log_slice)
         self.engine.advance_stable(response.executed_sequence)
         # adopting a quorum-attested state is proof the system is live; a
         # lone, never-quorate primary suspicion would otherwise wedge this
         # replica in in_view_change forever
         if isinstance(self.engine, PbftReplica) and self.engine.in_view_change:
             self.engine.in_view_change = False
+        if isinstance(self.engine, InstanceCoordinator):
+            self.engine.clear_view_change_wedges()
         self._recovering = False
         self.recoveries_completed += 1
         self.system.metrics.counter("recoveries").increment()

@@ -176,6 +176,25 @@ class ResilientDBSystem:
         forward if the view has moved on)."""
         return self.replica_ids[0]
 
+    def steer_replica(self, sender: str, request_id: int) -> str:
+        """Where a client sends one specific request.
+
+        Multi-primary RCC spreads clients across the ``num_primaries``
+        instance primaries (the point of concurrent consensus: §4.2's
+        single-primary ingest bottleneck disappears); deterministic
+        hashing means replicas compute the same steer lane when
+        re-forwarding.  Single-primary protocols keep the classic
+        contact-the-primary behaviour.
+        """
+        if self.config.protocol != "rcc":
+            return self.contact_replica()
+        import zlib
+
+        lane = (
+            zlib.crc32(sender.encode("utf-8")) + request_id
+        ) % self.config.num_primaries
+        return self.replica_ids[lane]
+
     # ------------------------------------------------------------------
     # fault injection
     # ------------------------------------------------------------------

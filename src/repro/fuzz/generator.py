@@ -29,7 +29,7 @@ from repro.sim.rng import DeterministicRNG
 
 #: knob pools — kept small so a 50-run campaign finishes in well under two
 #: minutes while still crossing protocol × faults × byzantine × config
-_PROTOCOLS = ("pbft", "zyzzyva", "poe")
+_PROTOCOLS = ("pbft", "zyzzyva", "poe", "rcc")
 _REPLICA_COUNTS = (4, 4, 4, 5, 7)  # weighted toward fast 4-replica runs
 _CLIENT_COUNTS = (12, 16, 24, 32)
 _GROUP_COUNTS = (1, 2, 4)
@@ -61,22 +61,51 @@ def generate_scenario(master_seed: int, index: int) -> Scenario:
         num_clients = min(num_clients, 16)
     warmup_ms = 25.0
     measure_ms = _round(rng.uniform(30.0, 50.0))
-    backups = [f"r{i}" for i in range(1, num_replicas)]
+
+    # rcc: multiple concurrent instances, each led by one of r0..r{m-1};
+    # a short view-change timeout lets lane view changes fire inside the
+    # fuzz window (the 5s default would dwarf it)
+    num_primaries = 1
+    view_change_timeout_ms = None
+    if protocol == "rcc":
+        num_primaries = min(rng.choice((2, 2, 3)), num_replicas)
+        view_change_timeout_ms = _round(rng.uniform(8.0, 15.0))
+    primaries = [f"r{i}" for i in range(num_primaries)]
+    backups = [f"r{i}" for i in range(num_primaries, num_replicas)]
 
     events: List[FaultEvent] = []
     budget = f
 
     # -- primary misbehaviour -------------------------------------------
+    # under rcc the victim is a *specific instance's* primary, so the
+    # campaign exercises per-lane containment, not just r0
     if budget and rng.random() < 0.30:
         budget -= 1
         events.append(
             FaultEvent(
                 kind="byzantine",
                 at_ms=0.0,
-                target="r0",
+                target=rng.choice(primaries),
                 policy=rng.choice(PRIMARY_POLICIES),
             )
         )
+
+    # -- rcc: crash one instance primary mid-run --------------------------
+    # the canonical multi-primary failure: lane k's primary dies, lane k
+    # view-changes, the other lanes keep committing and the merge resumes
+    if protocol == "rcc" and budget and rng.random() < 0.25:
+        victim = rng.choice(primaries)
+        if not any(event.target == victim for event in events):
+            budget -= 1
+            events.append(
+                FaultEvent(
+                    kind="crash",
+                    at_ms=_round(
+                        rng.uniform(warmup_ms * 0.5, warmup_ms + measure_ms * 0.4)
+                    ),
+                    target=victim,
+                )
+            )
 
     # -- backup crashes and byzantine policies ---------------------------
     victim_count = rng.randint(0, budget)
@@ -136,6 +165,8 @@ def generate_scenario(master_seed: int, index: int) -> Scenario:
     return Scenario(
         seed=master_seed * 1_000_003 + index,
         protocol=protocol,
+        num_primaries=num_primaries,
+        view_change_timeout_ms=view_change_timeout_ms,
         num_replicas=num_replicas,
         num_clients=num_clients,
         client_groups=client_groups,

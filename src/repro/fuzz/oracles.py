@@ -24,10 +24,17 @@ and reports every violation, not just the first:
   committed by the end of the measurement window was executed once the
   deployment quiesced (:func:`repro.consensus.safety.check_bounded_liveness`),
   and the deployment made progress at all.  Only applies while faults stay
-  within ``f``, the view-0 primary is not itself faulted (recovering from
-  a wedged primary takes a view change plus client retransmission, which
-  operate on timescales beyond the fuzz window), and no messages were
+  within ``f``, no view-0 instance primary is itself faulted (recovering
+  from a wedged primary takes a view change plus client retransmission,
+  which operate on timescales beyond the fuzz window; under rcc that
+  applies to each of the r0..r{m-1} lane primaries), and no messages were
   irrecoverably dropped (``Scenario.has_link_faults``).
+- ``rcc-unification`` (protocol "rcc" only) — every honest replica's
+  executed log is exactly the deterministic round-robin unification of
+  its per-instance commit logs
+  (:func:`repro.multi.unifier.check_unified_execution`), and honest
+  replicas agree per (instance, instance sequence) on the committed
+  digest — the cross-lane analogue of execution-order safety.
 
 ``check_client_replies`` is pure data-in/data-out so it is directly
 unit-testable and usable outside the fuzzer, matching the standalone
@@ -173,6 +180,12 @@ def run_oracle_bank(
         except SafetyViolation as exc:
             violations.append(Violation("checkpoint-consistency", str(exc)))
 
+    # -- rcc: unification is sound and lanes agree across replicas --------
+    if scenario.protocol == "rcc":
+        violations.extend(
+            _check_rcc_unification(system, scenario, byzantine | ever_crashed)
+        )
+
     # -- bounded liveness (only while the BFT contract holds) ------------
     if committed_snapshot is not None and _liveness_applicable(scenario):
         liveness_faulty = tuple(sorted(byzantine | ever_crashed))
@@ -212,16 +225,51 @@ def _speculative_split_possible(scenario) -> bool:
 
 
 def _liveness_applicable(scenario) -> bool:
-    # "r0" is the view-0 primary by construction (Scenario.to_config);
-    # a faulted primary can legitimately stall view 0 — e.g. a two-faced
-    # primary splits the prepare votes so neither digest reaches quorum —
-    # and the view-change rescue does not fit in the fuzz window
+    # the view-0 (instance) primaries are r0..r{m-1} by construction
+    # (Scenario.to_config); a faulted primary can legitimately stall its
+    # view — e.g. a two-faced primary splits the prepare votes so neither
+    # digest reaches quorum — and the view-change rescue does not reliably
+    # fit in the fuzz window
+    faulty = set(scenario.faulty_replicas)
     return (
         not scenario.has_link_faults
-        and len(scenario.faulty_replicas) <= scenario.f
-        and "r0" not in scenario.faulty_replicas
+        and len(faulty) <= scenario.f
+        and not faulty.intersection(scenario.instance_primaries)
         and scenario.bug is None
     )
+
+
+def _check_rcc_unification(system, scenario, faulty) -> List[Violation]:
+    """Protocol "rcc": per-replica, the executed log must be the
+    round-robin unification of that replica's own per-instance commit
+    logs; across replicas, honest lanes must agree on every (instance,
+    instance sequence) digest."""
+    from repro.multi.unifier import check_unified_execution, unify_commit_logs
+
+    violations: List[Violation] = []
+    lanes = range(scenario.num_primaries)
+    combined: Dict[int, List[Tuple[int, str]]] = {lane: [] for lane in lanes}
+    for rid in sorted(system.replicas):
+        if rid in faulty:
+            continue
+        replica = system.replicas[rid]
+        try:
+            check_unified_execution(
+                replica.executed_log,
+                replica.engine.commit_log,
+                scenario.num_primaries,
+            )
+        except SafetyViolation as exc:
+            violations.append(Violation("rcc-unification", f"{rid}: {exc}"))
+        for lane, entries in replica.engine.commit_log.items():
+            combined[lane].extend(entries)
+    try:
+        # merging every honest replica's commit log per lane surfaces any
+        # cross-replica digest disagreement as a per-lane conflict
+        unify_commit_logs(combined, scenario.num_primaries)
+    except SafetyViolation as exc:
+        violations.append(Violation("rcc-unification", str(exc)))
+    return violations
 
 
 def _check_stable_digests(system, byzantine) -> None:

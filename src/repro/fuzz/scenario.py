@@ -92,6 +92,12 @@ class Scenario:
     seed: int = 0
     protocol: str = "pbft"
     num_replicas: int = 4
+    #: concurrent consensus instances (protocol "rcc" only); instance k's
+    #: view-0 primary is ``r{k}``
+    num_primaries: int = 1
+    #: override the (5s, fuzz-window-dwarfing) default view-change timeout
+    #: so lane view changes can actually fire inside an rcc scenario
+    view_change_timeout_ms: Optional[float] = None
     num_clients: int = 24
     client_groups: int = 2
     batch_size: int = 8
@@ -136,6 +142,14 @@ class Scenario:
         return tuple(sorted(set(self.byzantine_targets) | set(self.crash_targets)))
 
     @property
+    def instance_primaries(self) -> Tuple[str, ...]:
+        """The view-0 primaries: r0..r{m-1} under rcc, just r0 otherwise.
+        A fault on any of them exempts the bounded-liveness oracle (the
+        view-change rescue operates on its own timescale)."""
+        count = self.num_primaries if self.protocol == "rcc" else 1
+        return tuple(f"r{i}" for i in range(count))
+
+    @property
     def has_link_faults(self) -> bool:
         """Drops and partitions lose messages that nothing retransmits, so
         the bounded-liveness oracle does not apply (safety always does)."""
@@ -143,8 +157,12 @@ class Scenario:
 
     # ------------------------------------------------------------------
     def to_config(self) -> SystemConfig:
+        overrides = {}
+        if self.view_change_timeout_ms is not None:
+            overrides["view_change_timeout"] = millis(self.view_change_timeout_ms)
         return SystemConfig(
             protocol=self.protocol,
+            num_primaries=self.num_primaries,
             num_replicas=self.num_replicas,
             num_clients=self.num_clients,
             client_groups=self.client_groups,
@@ -158,6 +176,7 @@ class Scenario:
             faults_tolerated=self.faults_tolerated,
             seed=self.seed,
             record_completions=True,
+            **overrides,
         )
 
     def with_events(self, events) -> "Scenario":
@@ -190,8 +209,9 @@ class Scenario:
         return cls.from_dict(json.loads(text))
 
     def describe(self) -> str:
+        lanes = f" m={self.num_primaries}" if self.protocol == "rcc" else ""
         knobs = (
-            f"{self.protocol} n={self.num_replicas} f={self.f} "
+            f"{self.protocol}{lanes} n={self.num_replicas} f={self.f} "
             f"clients={self.num_clients} batch={self.batch_size} "
             f"ckpt={self.checkpoint_txns} seed={self.seed}"
         )

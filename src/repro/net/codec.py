@@ -10,9 +10,12 @@ encodes and decodes the protocol messages to compact binary frames so
 
 Frame layout::
 
-    magic (2) | version (1) | kind tag (1) | sender len (2) | sender |
-    body (type-specific fields, little-endian) ...
+    magic (2) | version (1) | kind tag (1) | instance (2) |
+    sender len (2) | sender | body (type-specific fields, little-endian) ...
 
+The two-byte ``instance`` field is part of the envelope (version 2): it
+routes messages between the concurrent consensus instances of a
+multi-primary (RCC) deployment and is zero for single-instance protocols.
 Strings are length-prefixed UTF-8; sequences are count-prefixed.
 """
 
@@ -34,7 +37,7 @@ from repro.net.message import Message
 from repro.workloads.transactions import Operation, OpType, Transaction
 
 MAGIC = b"RD"  # two-byte frame magic
-VERSION = 1
+VERSION = 2  # v2 added the instance field to the envelope
 
 _KIND_TAGS = {
     "client-request": 1,
@@ -159,7 +162,10 @@ def encode(message: Message) -> bytes:
     tag = _KIND_TAGS.get(message.kind)
     if tag is None:
         raise CodecError(f"no codec for message kind {message.kind!r}")
-    out: List[bytes] = [MAGIC, struct.pack("<BB", VERSION, tag)]
+    out: List[bytes] = [
+        MAGIC,
+        struct.pack("<BBH", VERSION, tag, message.instance),
+    ]
     _put_str(out, message.sender)
     out.extend(_encode_body(message))
     return b"".join(out)
@@ -171,15 +177,20 @@ def decode(frame: bytes) -> Message:
     view = memoryview(frame)
     if bytes(view[:2]) != MAGIC:
         raise CodecError("bad magic")
-    version, tag = struct.unpack_from("<BB", view, 2)
+    version, tag, instance = struct.unpack_from("<BBH", view, 2)
     if version != VERSION:
         raise CodecError(f"unsupported version {version}")
     kind = _TAG_KINDS.get(tag)
     if kind is None:
         raise CodecError(f"unknown kind tag {tag}")
-    offset = 4
+    offset = 6
     sender, offset = _get_str(view, offset)
+    message = _decode_body(kind, sender, view, offset)
+    message.instance = instance
+    return message
 
+
+def _decode_body(kind: str, sender: str, view, offset: int) -> Message:
     if kind == "client-request":
         request_id, offset = _get_u64(view, offset)
         (txn_count,) = struct.unpack_from("<H", view, offset)

@@ -31,7 +31,7 @@ class Message:
     #: subclasses override: human-readable protocol tag
     kind: str = "message"
 
-    __slots__ = ("msg_id", "sender", "auth", "created_at")
+    __slots__ = ("msg_id", "sender", "auth", "created_at", "instance")
 
     def __init__(self, sender: str):
         self.msg_id = next(_message_ids)
@@ -40,6 +40,11 @@ class Message:
         self.auth = None
         #: simulation time the message object was created (for tracing).
         self.created_at: Optional[int] = None
+        #: consensus instance this message belongs to (multi-primary RCC
+        #: runs m concurrent instances; single-instance protocols use 0).
+        #: Part of the envelope: the codec carries it and the auth token
+        #: covers it, so votes cannot be replayed across instances.
+        self.instance: int = 0
 
     # ------------------------------------------------------------------
     # size accounting
@@ -72,9 +77,11 @@ class Message:
 
         Subclasses extend :meth:`signable_fields`; the default covers kind
         and sender so cross-type and cross-sender replay fails verification.
+        The envelope's instance id is always covered so a vote for one
+        consensus instance cannot be replayed into another.
         """
         fields = ":".join(str(field) for field in self.signable_fields())
-        return fields.encode("utf-8")
+        return f"{fields}@i{self.instance}".encode("utf-8")
 
     def signable_fields(self) -> tuple:
         return (self.kind, self.sender)

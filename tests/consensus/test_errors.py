@@ -1,0 +1,50 @@
+"""Typed proposal errors: hosts distinguish "not my job" from "busy
+changing views" without string-matching, and both stay catchable as the
+``ProposalError`` base."""
+
+import pytest
+
+from repro.consensus import (
+    NotPrimaryError,
+    PbftReplica,
+    ProposalError,
+    QuorumConfig,
+    ViewChangeInProgress,
+)
+
+from tests.consensus.harness import make_request
+
+
+def _replica(rid="r1"):
+    ids = ("r0", "r1", "r2", "r3")
+    return PbftReplica(rid, ids, QuorumConfig.for_replicas(4))
+
+
+def test_backup_propose_raises_not_primary():
+    backup = _replica("r1")  # view-0 primary is r0
+    request = make_request("c1", 1)
+    with pytest.raises(NotPrimaryError):
+        backup.make_preprepare(1, request.digest, request)
+
+
+def test_propose_during_view_change_raises_typed_error():
+    primary = _replica("r0")
+    primary.suspect_primary()  # wedge ourselves into a view change
+    assert primary.in_view_change
+    request = make_request("c1", 1)
+    with pytest.raises(ViewChangeInProgress):
+        primary.make_preprepare(1, request.digest, request)
+
+
+def test_duplicate_sequence_raises_proposal_error():
+    primary = _replica("r0")
+    request = make_request("c1", 1)
+    primary.make_preprepare(1, request.digest, request)
+    with pytest.raises(ProposalError):
+        primary.make_preprepare(1, request.digest, request)
+
+
+def test_error_hierarchy_rooted_at_proposal_error():
+    assert issubclass(NotPrimaryError, ProposalError)
+    assert issubclass(ViewChangeInProgress, ProposalError)
+    assert issubclass(ProposalError, RuntimeError)

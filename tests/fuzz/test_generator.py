@@ -35,9 +35,13 @@ def test_generated_policies_are_installable():
             if event.kind != "byzantine":
                 continue
             assert event.policy in POLICY_NAMES
-            # proposal-transforming policies only matter on the primary
+            # proposal-transforming policies only matter on a primary:
+            # r0 for single-primary protocols, any lane primary under rcc
             if event.policy in PRIMARY_POLICIES:
-                assert event.target == "r0"
+                lane_primaries = {
+                    f"r{i}" for i in range(scenario.num_primaries)
+                }
+                assert event.target in lane_primaries
 
 
 def test_generated_scenarios_never_inject_bugs():

@@ -1,0 +1,141 @@
+"""Unit and property tests for the round-robin unifier — the pure core
+of the multi-primary (RCC) subsystem."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.consensus.safety import SafetyViolation
+from repro.multi import (
+    check_unified_execution,
+    global_sequence,
+    instance_of,
+    instance_sequence,
+    unify_commit_logs,
+)
+
+
+# ----------------------------------------------------------------------
+# the (instance, instance sequence) <-> global sequence bijection
+# ----------------------------------------------------------------------
+def test_global_sequence_round_robin_layout():
+    # m=3: g=1,2,3 are lanes 0,1,2 at seq 1; g=4 starts round two
+    assert [global_sequence(k, 1, 3) for k in range(3)] == [1, 2, 3]
+    assert [global_sequence(k, 2, 3) for k in range(3)] == [4, 5, 6]
+    assert global_sequence(0, 1, 1) == 1
+    assert global_sequence(0, 7, 1) == 7
+
+
+@given(
+    m=st.integers(min_value=1, max_value=32),
+    g=st.integers(min_value=1, max_value=10_000),
+)
+def test_mapping_is_a_bijection(m, g):
+    lane = instance_of(g, m)
+    seq = instance_sequence(g, m)
+    assert 0 <= lane < m
+    assert seq >= 1
+    assert global_sequence(lane, seq, m) == g
+
+
+def test_mapping_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        global_sequence(2, 1, 2)
+    with pytest.raises(ValueError):
+        global_sequence(0, 0, 2)
+    with pytest.raises(ValueError):
+        instance_of(0, 2)
+    with pytest.raises(ValueError):
+        instance_sequence(-1, 2)
+
+
+# ----------------------------------------------------------------------
+# merging
+# ----------------------------------------------------------------------
+def test_unify_merges_contiguous_prefix():
+    logs = {0: [(1, "a1"), (2, "a2")], 1: [(1, "b1"), (2, "b2")]}
+    assert unify_commit_logs(logs, 2) == [
+        (1, "a1"),
+        (2, "b1"),
+        (3, "a2"),
+        (4, "b2"),
+    ]
+
+
+def test_unify_stops_at_first_hole():
+    # lane 1 never committed seq 1: the merge cannot leapfrog global 2
+    logs = {0: [(1, "a1"), (2, "a2"), (3, "a3")], 1: [(2, "b2")]}
+    assert unify_commit_logs(logs, 2) == [(1, "a1")]
+
+
+def test_unify_handles_missing_lane_key():
+    assert unify_commit_logs({0: [(1, "a1")]}, 2) == [(1, "a1")]
+    assert unify_commit_logs({}, 3) == []
+
+
+def test_unify_rejects_conflicting_digests_in_one_lane():
+    logs = {0: [(1, "a1"), (1, "evil")]}
+    with pytest.raises(SafetyViolation):
+        unify_commit_logs(logs, 1)
+
+
+def test_unify_tolerates_duplicate_identical_entries():
+    logs = {0: [(1, "a1"), (1, "a1")], 1: [(1, "b1")]}
+    assert unify_commit_logs(logs, 2) == [(1, "a1"), (2, "b1")]
+
+
+# ----------------------------------------------------------------------
+# execution checking
+# ----------------------------------------------------------------------
+def test_check_unified_execution_accepts_prefix():
+    logs = {0: [(1, "a1"), (2, "a2")], 1: [(1, "b1")]}
+    executed = [(1, "a1"), (2, "b1"), (3, "a2")]
+    assert check_unified_execution(executed, logs, 2) == 3
+    # any prefix is fine too
+    assert check_unified_execution(executed[:1], logs, 2) == 1
+
+
+def test_check_unified_execution_rejects_uncommitted_slot():
+    with pytest.raises(SafetyViolation):
+        check_unified_execution([(2, "b1")], {0: [(1, "a1")]}, 2)
+
+
+def test_check_unified_execution_rejects_digest_mismatch():
+    logs = {0: [(1, "a1")]}
+    with pytest.raises(SafetyViolation):
+        check_unified_execution([(1, "other")], logs, 2)
+
+
+# ----------------------------------------------------------------------
+# the RCC determinism property: unification is a pure function of the
+# per-lane commit logs — independent of commit arrival interleaving
+# ----------------------------------------------------------------------
+@st.composite
+def commit_histories(draw):
+    m = draw(st.integers(min_value=1, max_value=4))
+    lanes = {}
+    for lane in range(m):
+        depth = draw(st.integers(min_value=0, max_value=8))
+        lanes[lane] = [
+            (seq, f"d{lane}.{seq}") for seq in range(1, depth + 1)
+        ]
+    return m, lanes
+
+
+@given(history=commit_histories(), data=st.data())
+@settings(max_examples=100)
+def test_unification_is_arrival_order_invariant(history, data):
+    """Flatten every lane's commits into one event stream, deal it back
+    in a drawn permutation, and unify: the global order never changes."""
+    m, lanes = history
+    reference = unify_commit_logs(lanes, m)
+    events = [
+        (lane, entry) for lane, entries in lanes.items() for entry in entries
+    ]
+    permuted = data.draw(st.permutations(events))
+    rebuilt = {lane: [] for lane in range(m)}
+    for lane, entry in permuted:
+        rebuilt[lane].append(entry)
+    assert unify_commit_logs(rebuilt, m) == reference
+    # and the reference order itself is a valid execution of the logs
+    assert check_unified_execution(reference, rebuilt, m) == len(reference)
