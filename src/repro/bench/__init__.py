@@ -26,6 +26,7 @@ from repro.bench.experiments import (
     fig16_cores,
     fig17_failures,
     fig18_rcc_scaling,
+    fig19_overload_degradation,
 )
 from repro.bench.report import FigureResult, Series, SeriesPoint
 from repro.bench.runner import run_config
@@ -47,5 +48,6 @@ __all__ = [
     "fig16_cores",
     "fig17_failures",
     "fig18_rcc_scaling",
+    "fig19_overload_degradation",
     "run_config",
 ]

@@ -501,3 +501,102 @@ def fig18_rcc_scaling() -> FigureResult:
         "the lanes, and retransmitted requests re-route — no wedge"
     )
     return figure
+
+
+# ======================================================================
+# Overload — graceful degradation with end-to-end flow control (ISSUE 5)
+# ======================================================================
+def fig19_overload_degradation() -> FigureResult:
+    """Goodput and p99 as offered load sweeps 0.5× → 10× of capacity,
+    with and without overload protection.
+
+    §6's robustness lesson: a fabric must degrade gracefully, not
+    collapse, when clients outrun it.  Here "protected" deployments run
+    the full flow-control stack — bounded batch queues with the
+    ``reject`` policy, primary admission control (busy-NACKs), and
+    adaptive clients (AIMD pending windows + exponential-backoff
+    retransmission).  The claim this figure checks: protected goodput at
+    10× offered load stays within ~20% of the sweep's peak while p99 of
+    *completed* requests stays bounded, because excess demand is turned
+    away at the door (NACKed) instead of queued; the unprotected
+    contrast keeps goodput too (closed-loop clients self-limit) but its
+    p99 grows with every queued client.
+    """
+    figure = FigureResult(
+        "overload", "graceful degradation under overload", "offered load (x)"
+    )
+    multipliers = (0.5, 1.0, 2.0, 4.0, 10.0)
+    base_clients = 48  # ~saturation for this 4-replica, batch-8 deployment
+
+    def overload_config(clients: int, protocol: str, m: int, protected: bool):
+        config = base_config(
+            protocol=protocol,
+            num_primaries=m,
+            num_replicas=4,
+            num_clients=clients,
+            client_groups=4,
+            batch_size=8,
+            batch_threads=1,
+            execute_threads=1,
+            ycsb_records=1_000,
+            warmup=millis(40),
+            measure=millis(100),
+            seed=11,
+        )
+        if not protected:
+            return config
+        return config.with_options(
+            queue_policy="reject",
+            batch_queue_capacity=64,
+            # per-lane budget: m concurrent primaries admit m x 12 slots
+            admission_max_inflight=12 * m,
+            client_retransmit=millis(4),
+            client_window_initial=4,
+        )
+
+    figure.meta.update(
+        {
+            "base_clients": base_clients,
+            "multipliers": list(multipliers),
+            "queue_policy": "reject",
+            "batch_queue_capacity": 64,
+            "admission_max_inflight_per_lane": 12,
+            "client_retransmit_ns": millis(4),
+            "client_window_initial": 4,
+        }
+    )
+
+    variants = (
+        ("PBFT protected", "pbft", 1, True),
+        ("RCC m=2 protected", "rcc", 2, True),
+        ("PBFT unprotected", "pbft", 1, False),
+    )
+    for label, protocol, m, protected in variants:
+        series = Series(label)
+        for mult in multipliers:
+            clients = int(base_clients * mult)
+            result = run_config(overload_config(clients, protocol, m, protected))
+            series.points.append(
+                _point(
+                    mult,
+                    result,
+                    busy_nacks=float(result.busy_nacks_sent),
+                    requests_shed=float(result.requests_shed),
+                    admission_rejected=float(result.admission_rejected),
+                )
+            )
+        figure.series.append(series)
+
+    for label in ("PBFT protected", "RCC m=2 protected"):
+        series = figure.get(label)
+        throughputs = series.throughputs()
+        retained = throughputs[-1] / max(1.0, max(throughputs))
+        figure.note(f"{label}: goodput at 10x = {retained * 100:.0f}% of peak")
+    protected_p99 = figure.get("PBFT protected").points[-1].extra["p99_latency_s"]
+    raw_p99 = figure.get("PBFT unprotected").points[-1].extra["p99_latency_s"]
+    figure.note(
+        f"p99 at 10x: protected {protected_p99 * 1e3:.2f}ms vs "
+        f"unprotected {raw_p99 * 1e3:.2f}ms — rejection keeps queues "
+        "short; back-pressure alone lets wait times grow with clients"
+    )
+    return figure

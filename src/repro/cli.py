@@ -73,6 +73,29 @@ def _build_parser() -> argparse.ArgumentParser:
                      "when --samples-out is given, else off)")
     obs.add_argument("--no-spans", action="store_true",
                      help="skip lifecycle spans (no stage-latency table)")
+    flow = run.add_argument_group("overload protection")
+    flow.add_argument("--queue-policy", choices=("block", "shed_oldest",
+                                                 "reject"), default="block",
+                      help="what bounded stage queues do when full "
+                      "(default: block = back-pressure)")
+    flow.add_argument("--batch-queue-capacity", type=int, default=None,
+                      metavar="N", help="bound the primary's batch queue")
+    flow.add_argument("--admission-max-inflight", type=int, default=None,
+                      metavar="N", help="max consensus instances a primary "
+                      "keeps in flight before busy-NACKing new requests")
+    flow.add_argument("--admission-max-per-client", type=int, default=None,
+                      metavar="N", help="max unexecuted requests admitted "
+                      "per client group")
+    flow.add_argument("--client-retransmit-ms", type=float, default=None,
+                      metavar="MS", help="client retransmission base delay "
+                      "(exponential backoff with deterministic jitter)")
+    flow.add_argument("--client-window", type=int, default=None, metavar="N",
+                      help="initial AIMD pending window per client group "
+                      "(default: no window, all logical clients in flight)")
+    flow.add_argument("--check-flow", action="store_true",
+                      help="after the run, verify the flow-control "
+                      "invariants and require nonzero goodput; nonzero "
+                      "exit on violation")
 
     figure = commands.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("figure_id", help="e.g. fig10 (see list-figures)")
@@ -104,6 +127,12 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--replay", metavar="FILE",
                       help="replay one scenario from an artifact (or bare "
                       "scenario) JSON file instead of generating")
+    fuzz.add_argument("--profile", choices=("mixed", "overload"),
+                      default="mixed",
+                      help="scenario generator: 'mixed' crosses protocols "
+                      "and faults (a slice with overload knobs); 'overload' "
+                      "always drives a small cluster past capacity with "
+                      "protection on (default: mixed)")
     return parser
 
 
@@ -166,6 +195,16 @@ def _command_run(args) -> int:
         sample_interval=(
             millis(sample_interval_ms) if sample_interval_ms else None
         ),
+        queue_policy=args.queue_policy,
+        batch_queue_capacity=args.batch_queue_capacity,
+        admission_max_inflight=args.admission_max_inflight,
+        admission_max_per_client=args.admission_max_per_client,
+        client_retransmit=(
+            millis(args.client_retransmit_ms)
+            if args.client_retransmit_ms is not None
+            else None
+        ),
+        client_window_initial=args.client_window,
     )
     system = ResilientDBSystem(config)
     try:
@@ -184,9 +223,27 @@ def _command_run(args) -> int:
     print("primary saturation:")
     for stage, value in sorted(result.primary_saturation.items()):
         print(f"  {stage:<12} {value * 100:5.1f}%")
+    if (result.busy_nacks_sent or result.requests_shed
+            or result.admission_rejected):
+        print(f"flow control: nacks={result.busy_nacks_sent} "
+              f"(received {result.busy_nacks_received}) "
+              f"shed={result.requests_shed} "
+              f"admission-rejected={result.admission_rejected}")
     table = result.stage_latency_table()
     if table:
         print(table)
+    if args.check_flow:
+        from repro.flow import check_flow_invariants
+
+        problems = check_flow_invariants(system)
+        for problem in problems:
+            print(f"flow invariant violated: {problem}", file=sys.stderr)
+        if result.completed_requests == 0:
+            print("flow check failed: zero goodput", file=sys.stderr)
+            return 1
+        if problems:
+            return 1
+        print("flow invariants hold", file=sys.stderr)
     return 0
 
 
@@ -253,18 +310,25 @@ def _command_fuzz(args) -> int:
         print(f"invalid --runs: {args.runs} (must be positive)",
               file=sys.stderr)
         return 2
+    source = None
+    if args.profile == "overload":
+        from repro.fuzz.generator import generate_overload_scenario
+
+        source = generate_overload_scenario
     report = fuzz_campaign(
         runs=args.runs,
         master_seed=args.seed,
         offset=args.offset,
         shrink=args.shrink,
         artifacts_dir=args.artifacts,
+        scenario_source=source,
         log=print,
     )
     print(
         f"fuzz: {len(report.outcomes)} run(s), "
         f"{len(report.failures)} failure(s) "
-        f"(seed {args.seed}, offset {args.offset}) "
+        f"(seed {args.seed}, offset {args.offset}, "
+        f"profile {args.profile}) "
         f"in {report.wall_seconds:.1f}s"
     )
     return 0 if report.ok else 1

@@ -209,6 +209,41 @@ class ClientResponse(Message):
         )
 
 
+class BusyNack(Message):
+    """Replica → client: a request was refused or shed under overload.
+
+    Sent instead of silent queue growth when admission control or a
+    bounded queue turns a request away (``reason`` says which limit
+    fired).  Clients treat it as a congestion signal: shrink the AIMD
+    window, back off, and — for multi-primary RCC — steer away from the
+    busy lane (``instance`` in the envelope names it).  NACKs carry no
+    execution result, so they are unsigned; clients never act on a NACK
+    beyond retrying, which a Byzantine replica could at worst delay.
+    """
+
+    kind = "busy-nack"
+
+    __slots__ = ("request_ids", "reason", "retry_after_ns")
+
+    def __init__(
+        self,
+        sender: str,
+        request_ids: Tuple[int, ...],
+        reason: str,
+        retry_after_ns: int = 0,
+    ):
+        super().__init__(sender)
+        self.request_ids = request_ids
+        self.reason = reason
+        self.retry_after_ns = retry_after_ns
+
+    def payload_bytes(self) -> int:
+        return 16 + 8 * len(self.request_ids) + len(self.reason)
+
+    def signable_fields(self) -> tuple:
+        return (self.kind, self.sender, self.request_ids, self.reason)
+
+
 class Checkpoint(Message):
     """Replica → all: state digest after executing a multiple of Δ requests.
 

@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.consensus.messages import ClientRequest, CommitCertificate
+from repro.flow import AIMDWindow, RetransmitBackoff
+from repro.sim.clock import millis
 from repro.sim.events import Timer
 from repro.workloads.ycsb import YCSBWorkload
 
@@ -40,6 +42,10 @@ class PendingRequest:
 
     submitted_at: int
     txn_count: int
+    #: the request message, kept for retransmission
+    request: Optional[ClientRequest] = None
+    #: the armed retransmit / Zyzzyva timer, cancelled on completion
+    timer: Optional[Timer] = None
     #: PBFT: responding replica -> result digest
     responses: Dict[str, str] = field(default_factory=dict)
     #: Zyzzyva: match key -> set of responders
@@ -50,6 +56,8 @@ class PendingRequest:
     certificate_digest: Optional[str] = None
     local_commits: Set[str] = field(default_factory=set)
     retransmissions: int = 0
+    #: busy-nacks received for this request (feeds the backoff exponent)
+    nacks: int = 0
 
 
 class ClientGroup:
@@ -73,6 +81,32 @@ class ClientGroup:
         )
         self.next_request_id = 0
         self.pending: Dict[int, PendingRequest] = {}
+        # -- overload protection (repro.flow) ---------------------------
+        config = self.config
+        base_retry = config.client_retransmit or millis(5)
+        self.backoff = RetransmitBackoff(
+            base=base_retry,
+            factor=config.retransmit_backoff_factor,
+            cap=config.retransmit_backoff_max,
+            jitter=config.retransmit_jitter,
+            rng=system.rng.fork(f"{self.name}.flow"),
+        )
+        # the AIMD pending window; by default every logical client may
+        # have its one request in flight (no windowing until congestion)
+        initial = config.client_window_initial or logical_clients
+        self.window = AIMDWindow(
+            initial=max(1, min(initial, logical_clients)),
+            min_size=min(config.client_window_min, max(1, logical_clients)),
+            max_size=logical_clients,
+            additive=config.client_window_additive,
+            decrease=config.client_window_decrease,
+            cooldown=base_retry,
+        )
+        #: logical clients whose next request awaits window room
+        self._deferred = 0
+        self.busy_nacks_received = 0
+        #: RCC: lane primary -> time its Busy signal expires
+        self._lane_busy_until: Dict[str, int] = {}
         self.completed_requests = 0
         self.fast_path_completions = 0
         self.slow_path_completions = 0
@@ -95,6 +129,11 @@ class ClientGroup:
     # ------------------------------------------------------------------
     def _send_new_request(self) -> None:
         config = self.config
+        if len(self.pending) >= self.window.size:
+            # AIMD window closed: this logical client's next request is
+            # deferred until completions reopen room
+            self._deferred += 1
+            return
         request_id = self.next_request_id
         self.next_request_id += 1
         txns = tuple(
@@ -102,30 +141,58 @@ class ClientGroup:
             for _ in range(config.client_batch_txns)
         )
         request = ClientRequest(self.name, request_id, txns)
-        # multi-primary RCC steers each request to its lane's primary;
-        # single-primary protocols contact the initial primary
-        target = self.system.steer_replica(self.name, request_id)
+        # multi-primary RCC steers each request to its lane's primary
+        # (avoiding lanes that recently signalled Busy); single-primary
+        # protocols contact the initial primary
+        target = self._steer_target(request_id)
         if config.real_auth_tokens:
             request.auth, _ = self.system.client_scheme.authenticate(
                 request.signable_bytes(), self.name, [target]
             )
-        self.pending[request_id] = PendingRequest(
-            submitted_at=self.sim.now, txn_count=len(txns)
+        pending = PendingRequest(
+            submitted_at=self.sim.now, txn_count=len(txns), request=request
         )
+        self.pending[request_id] = pending
         spans = self.system.spans
         if spans.enabled:
             spans.begin((self.name, request_id), self.sim.now)
         self.system.network.send(self.name, target, request)
         if config.protocol == "zyzzyva":
-            Timer(
+            pending.timer = Timer(
                 self.sim,
                 config.zyzzyva_client_timeout,
                 self._on_zyzzyva_timeout,
                 request_id,
             )
         elif config.client_retransmit is not None:
-            Timer(self.sim, config.client_retransmit, self._on_retransmit,
-                  request_id, request)
+            pending.timer = Timer(
+                self.sim, self.backoff.delay(0), self._on_retransmit,
+                request_id, request,
+            )
+
+    def _steer_target(self, request_id: int) -> str:
+        target = self.system.steer_replica(self.name, request_id)
+        if self.config.protocol != "rcc" or not self._lane_busy_until:
+            return target
+        now = self.sim.now
+        if self._lane_busy_until.get(target, 0) <= now:
+            return target
+        # the steered lane is busy: rotate deterministically to the first
+        # lane primary that has not recently said Busy
+        primaries = self.system.lane_primaries()
+        if target not in primaries:
+            return target
+        start = primaries.index(target)
+        for offset in range(1, len(primaries)):
+            candidate = primaries[(start + offset) % len(primaries)]
+            if self._lane_busy_until.get(candidate, 0) <= now:
+                return candidate
+        return target
+
+    def _release_deferred(self) -> None:
+        while self._deferred and len(self.pending) < self.window.size:
+            self._deferred -= 1
+            self._send_new_request()
 
     def _on_retransmit(self, request_id: int, request: ClientRequest) -> None:
         pending = self.pending.get(request_id)
@@ -150,8 +217,78 @@ class ClientGroup:
             for rid in replica_ids:
                 self.system.network.send(self.name, rid, request)
         if self.config.client_retransmit is not None:
-            Timer(self.sim, self.config.client_retransmit, self._on_retransmit,
-                  request_id, request)
+            # exponential backoff (with jitter) keeps retransmissions of a
+            # long-unanswered request from compounding an overload
+            pending.timer = Timer(
+                self.sim,
+                self.backoff.delay(pending.retransmissions + pending.nacks),
+                self._on_retransmit, request_id, request,
+            )
+
+    # ------------------------------------------------------------------
+    # overload signals (busy-nack)
+    # ------------------------------------------------------------------
+    def _handle_busy(self, message) -> None:
+        """A replica refused or shed one of our requests: treat it as a
+        congestion signal (shrink the window, back off, steer away)."""
+        self.busy_nacks_received += 1
+        self.window.on_congestion(self.sim.now)
+        if self.config.protocol == "rcc":
+            self._lane_busy_until[message.sender] = (
+                self.sim.now + self.backoff.delay(1)
+            )
+        for request_id in message.request_ids:
+            pending = self.pending.get(request_id)
+            if pending is None:
+                continue  # answered by another replica in the meantime
+            pending.nacks += 1
+            self._schedule_retry(request_id, pending)
+
+    def _schedule_retry(self, request_id: int, pending: PendingRequest) -> None:
+        if pending.timer is not None:
+            pending.timer.cancel()
+        delay = self.backoff.delay(pending.retransmissions + pending.nacks)
+        if self.config.protocol == "zyzzyva":
+            pending.timer = Timer(
+                self.sim, delay, self._retry_zyzzyva, request_id
+            )
+        else:
+            pending.timer = Timer(
+                self.sim, delay, self._retry_after_nack, request_id
+            )
+
+    def _retry_after_nack(self, request_id: int) -> None:
+        """Resend a NACKed request to its steer target only — the primary
+        is alive, just busy; a suspect-the-primary broadcast would
+        multiply exactly the load that caused the NACK."""
+        pending = self.pending.get(request_id)
+        if pending is None or pending.request is None:
+            return
+        pending.retransmissions += 1
+        self.system.network.send(
+            self.name, self._steer_target(request_id), pending.request
+        )
+        if self.config.client_retransmit is not None:
+            pending.timer = Timer(
+                self.sim,
+                self.backoff.delay(pending.retransmissions + pending.nacks),
+                self._on_retransmit, request_id, pending.request,
+            )
+
+    def _retry_zyzzyva(self, request_id: int) -> None:
+        """NACKed Zyzzyva request: resend, then fall back to the normal
+        client-timeout path (which owns certificate handling)."""
+        pending = self.pending.get(request_id)
+        if pending is None or pending.request is None:
+            return
+        pending.retransmissions += 1
+        self.system.network.send(
+            self.name, self._steer_target(request_id), pending.request
+        )
+        pending.timer = Timer(
+            self.sim, self.config.zyzzyva_client_timeout,
+            self._on_zyzzyva_timeout, request_id,
+        )
 
     # ------------------------------------------------------------------
     # response handling
@@ -210,6 +347,8 @@ class ClientGroup:
                 # sequence-scoped ack; match any pending request awaiting
                 # certificates for that sequence
                 self._handle_local_commit(message, commit_needed)
+            elif kind == "busy-nack":
+                self._handle_busy(message)
 
     def _handle_local_commit(self, message, commit_needed: int) -> None:
         for request_id, pending in list(self.pending.items()):
@@ -256,13 +395,13 @@ class ClientGroup:
                 for rid in self.system.replica_ids:
                     self.system.network.send(self.name, rid, certificate)
             # re-arm in case local-commits get lost too
-            Timer(self.sim, self.config.zyzzyva_client_timeout,
-                  self._on_zyzzyva_timeout, request_id)
+            pending.timer = Timer(self.sim, self.config.zyzzyva_client_timeout,
+                                  self._on_zyzzyva_timeout, request_id)
         else:
             # not even a certificate quorum: retransmit the whole request
             pending.retransmissions += 1
-            Timer(self.sim, self.config.zyzzyva_client_timeout,
-                  self._on_zyzzyva_timeout, request_id)
+            pending.timer = Timer(self.sim, self.config.zyzzyva_client_timeout,
+                                  self._on_zyzzyva_timeout, request_id)
 
     # ------------------------------------------------------------------
     def _complete(
@@ -275,6 +414,12 @@ class ClientGroup:
         pending = self.pending.pop(request_id, None)
         if pending is None:
             return
+        # the request is answered: its retransmit (or Zyzzyva) timer must
+        # never fire again
+        if pending.timer is not None:
+            pending.timer.cancel()
+            pending.timer = None
+        self.window.on_success()
         if self.config.record_completions:
             self.completion_log.append((request_id, sequence, digest))
         self.completed_requests += 1
@@ -295,5 +440,7 @@ class ClientGroup:
         metrics.counter("ops_completed").increment(
             pending.txn_count * self.config.ops_per_txn
         )
-        # closed loop: this logical client immediately issues its next one
+        # closed loop: this logical client immediately issues its next
+        # one, plus any deferred clients the window now has room for
         self._send_new_request()
+        self._release_deferred()

@@ -145,6 +145,36 @@ class SystemConfig:
     #: has caught up past every execution gap
     state_transfer_retry: int = millis(50)
 
+    # -- overload protection (repro.flow) ----------------------------------
+    #: back-pressure policy for bounded pipeline queues: "block" parks the
+    #: producer, "shed_oldest" evicts the oldest queued item (NACKing shed
+    #: client requests), "reject" refuses the new arrival with a busy-nack
+    queue_policy: str = "block"
+    #: per-stage queue bounds; None leaves a queue unbounded (the default,
+    #: matching the paper's deployment).  The work-queue bound applies to
+    #: client requests only — protocol messages are never shed.
+    batch_queue_capacity: Optional[int] = None
+    work_queue_capacity: Optional[int] = None
+    checkpoint_queue_capacity: Optional[int] = None
+    output_queue_capacity: Optional[int] = None
+    inbox_capacity: Optional[int] = None
+    #: primary admission control: cap consensus instances proposed but not
+    #: yet executed / requests admitted per client group; requests over a
+    #: cap get a busy-nack instead of queueing.  None disables the cap.
+    admission_max_inflight: Optional[int] = None
+    admission_max_per_client: Optional[int] = None
+    #: client AIMD pending window: initial size (None → every logical
+    #: client in flight, i.e. no windowing until a NACK shrinks it)
+    client_window_initial: Optional[int] = None
+    client_window_min: int = 1
+    client_window_additive: int = 1
+    client_window_decrease: float = 0.5
+    #: retransmission backoff: delay(n) = min(base * factor**n, max) plus
+    #: a deterministic jitter fraction; base is ``client_retransmit``
+    retransmit_backoff_factor: float = 2.0
+    retransmit_backoff_max: Optional[int] = None
+    retransmit_jitter: float = 0.1
+
     # -- measurement --------------------------------------------------------
     warmup: int = millis(150)
     measure: int = millis(250)
@@ -221,6 +251,37 @@ class SystemConfig:
             raise ValueError("sample_interval must be >= 1 tick")
         if self.span_keep_finished < 0:
             raise ValueError("span_keep_finished must be >= 0")
+        from repro.sim.queues import QUEUE_POLICIES
+
+        if self.queue_policy not in QUEUE_POLICIES:
+            raise ValueError(
+                f"unknown queue policy {self.queue_policy!r}; "
+                f"expected one of {QUEUE_POLICIES}"
+            )
+        for knob in (
+            "batch_queue_capacity",
+            "work_queue_capacity",
+            "checkpoint_queue_capacity",
+            "output_queue_capacity",
+            "inbox_capacity",
+            "admission_max_inflight",
+            "admission_max_per_client",
+            "client_window_initial",
+            "retransmit_backoff_max",
+        ):
+            value = getattr(self, knob)
+            if value is not None and value < 1:
+                raise ValueError(f"{knob} must be >= 1, got {value}")
+        if self.client_window_min < 1:
+            raise ValueError("client_window_min must be >= 1")
+        if self.client_window_additive < 1:
+            raise ValueError("client_window_additive must be >= 1")
+        if not 0.0 < self.client_window_decrease < 1.0:
+            raise ValueError("client_window_decrease must be in (0, 1)")
+        if self.retransmit_backoff_factor < 1.0:
+            raise ValueError("retransmit_backoff_factor must be >= 1.0")
+        if not 0.0 <= self.retransmit_jitter <= 1.0:
+            raise ValueError("retransmit_jitter must be in [0, 1]")
 
     # ------------------------------------------------------------------
     @property

@@ -46,12 +46,14 @@ from repro.consensus.base import (
     StartViewChangeTimer,
 )
 from repro.consensus.messages import (
+    BusyNack,
     Checkpoint,
     ClientRequest,
     ClientResponse,
     RequestBatch,
     SpecResponse,
 )
+from repro.flow import AdmissionController, FlowStats
 from repro.consensus.pbft import PbftReplica
 from repro.consensus.poe import PoeReplica
 from repro.consensus.zyzzyva import GENESIS_HISTORY, ZyzzyvaReplica, extend_history
@@ -99,17 +101,64 @@ class Replica:
         else:
             self.engine = PoeReplica(replica_id, replica_ids, quorum)
 
+        # -- overload protection (repro.flow) ---------------------------
+        self.flow = FlowStats()
+        self.admission = AdmissionController(
+            max_inflight=config.admission_max_inflight,
+            max_per_client=config.admission_max_per_client,
+        )
+        #: request keys already placed in a proposal; shedding one of
+        #: these would violate the no-shed-after-sequencing invariant
+        #: (tripwired in ``_on_batch_shed``)
+        self._sequenced_keys: set = set()
+
         # -- queues between stages --------------------------------------
-        self.batch_queue = SimQueue(self.sim, f"{replica_id}.batch-q")
+        policy = config.queue_policy
+        self.batch_queue = SimQueue(
+            self.sim,
+            f"{replica_id}.batch-q",
+            capacity=config.batch_queue_capacity,
+            policy=policy,
+            on_shed=self._on_batch_shed,
+        )
         # protocol messages outrank client requests so that, in the 0B
         # degenerate pipeline where the worker also batches, a backlog of
-        # unverified client requests cannot starve quorum progress
-        self.work_queue = SimPriorityQueue(self.sim, f"{replica_id}.work-q")
-        self.checkpoint_queue = SimQueue(self.sim, f"{replica_id}.ckpt-q")
+        # unverified client requests cannot starve quorum progress; the
+        # capacity bound applies to client requests only
+        self.work_queue = SimPriorityQueue(
+            self.sim,
+            f"{replica_id}.work-q",
+            capacity=config.work_queue_capacity,
+            policy=policy,
+            on_shed=self._on_batch_shed,
+        )
+        self.checkpoint_queue = SimQueue(
+            self.sim,
+            f"{replica_id}.ckpt-q",
+            capacity=config.checkpoint_queue_capacity,
+            policy=policy,
+            on_shed=self._on_message_shed,
+        )
+        # output queues are fed by non-process callers (timers, NACK
+        # paths), which cannot park — so the "block" policy leaves them
+        # unbounded and back-pressure applies upstream instead
         self.output_queues = [
-            SimQueue(self.sim, f"{replica_id}.out-q{i}")
+            SimQueue(
+                self.sim,
+                f"{replica_id}.out-q{i}",
+                capacity=(
+                    config.output_queue_capacity if policy != "block" else None
+                ),
+                policy=policy,
+                on_shed=self._on_message_shed,
+            )
             for i in range(config.output_threads)
         ]
+        if config.inbox_capacity is not None:
+            inbox = self.endpoint.inbox
+            inbox.capacity = config.inbox_capacity
+            inbox.policy = policy
+            inbox.on_shed = self._on_inbox_shed
 
         # -- ordered execution state (§4.6) ------------------------------
         self.exec_pending: Dict[int, ExecuteReady] = {}
@@ -251,16 +300,44 @@ class Replica:
             if kind == "client-request":
                 yield from self._route_client_request(message, thread_id)
             elif kind == "checkpoint":
-                self.checkpoint_queue.put_nowait(message)
+                accepted = yield from self._stage_put(
+                    self.checkpoint_queue, message
+                )
+                if not accepted:
+                    self.flow.shed_messages += 1
             else:
+                # protocol messages ride at priority 0, which the work
+                # queue's capacity bound never applies to
                 self.work_queue.put_nowait(message)
+
+    def _stage_put(self, queue, item, priority: Optional[int] = None):
+        """Enqueue ``item`` under the queue's policy from a process
+        context; the generator's return value says whether it got in
+        (``block`` parks the caller until it does)."""
+        if queue.capacity is None:
+            if priority is None:
+                queue.put_nowait(item)
+            else:
+                queue.put_nowait(item, priority)
+            return True
+        if queue.policy == "block":
+            if priority is None:
+                accepted = yield queue.put(item)
+            else:
+                accepted = yield queue.put(item, priority)
+            return accepted
+        if priority is None:
+            return queue.offer(item)
+        return queue.offer(item, priority)
 
     def _route_client_request(self, message: ClientRequest, thread_id: str):
         costs = self.config.work_costs
         if not self.config.consensus_enabled:
             # Fig. 7 upper-bound mode: requests go straight to the
             # independent responder threads
-            self.batch_queue.put_nowait(message)
+            accepted = yield from self._stage_put(self.batch_queue, message)
+            if not accepted:
+                self._reject_request(message, "queue", admitted=False)
             return
         if not self.is_primary:
             # forward to the current primary (client may not know the view)
@@ -274,16 +351,91 @@ class Replica:
         key = (message.sender, message.request_id)
         if key in self._seen_requests:
             return  # client retransmission of an in-flight request
+        # admission control runs before anything is recorded, so a NACKed
+        # retry re-enters cleanly once the primary has room again
+        reason = self.admission.try_admit(message.sender)
+        if reason is not None:
+            self.flow.rejected_requests += 1
+            self._send_busy_nack(message, reason)
+            return
         self._seen_requests.add(key)
         spans = self.system.spans
         if spans.enabled:
             spans.stamp(key, "input", self.sim.now)
         yield self.cpu.run(costs.sequence_assign_ns, thread_id)
         if self.config.batch_threads:
-            self.batch_queue.put_nowait(message)
+            accepted = yield from self._stage_put(self.batch_queue, message)
         else:
             # 0B: the worker batches; client requests ride at low priority
-            self.work_queue.put_nowait(message, priority=1)
+            accepted = yield from self._stage_put(
+                self.work_queue, message, priority=1
+            )
+        if not accepted:
+            self._reject_request(message, "queue")
+
+    # ==================================================================
+    # overload protection (repro.flow)
+    # ==================================================================
+    def _reject_request(
+        self, message: ClientRequest, reason: str, admitted: bool = True
+    ) -> None:
+        """A bounded queue refused this request: undo its admission and
+        NACK the client so it backs off and retries."""
+        self._seen_requests.discard((message.sender, message.request_id))
+        if admitted:
+            self.admission.release_client(message.sender)
+        self.flow.rejected_requests += 1
+        self._send_busy_nack(message, reason)
+
+    def _on_batch_shed(self, item) -> None:
+        """shed_oldest evicted ``item`` from the batch or work queue."""
+        if not isinstance(item, ClientRequest):
+            self.flow.shed_messages += 1
+            return
+        key = (item.sender, item.request_id)
+        if key in self._sequenced_keys:
+            # must be unreachable: requests gain a sequence number only
+            # after leaving these queues — recorded for the oracle
+            self.flow.shed_sequenced.append(key)
+        self.flow.shed_requests += 1
+        self.flow.shed_keys.append(key)
+        self._seen_requests.discard(key)
+        self.admission.release_client(item.sender)
+        self._send_busy_nack(item, "shed")
+
+    def _on_message_shed(self, item) -> None:
+        """shed_oldest evicted a non-request item (checkpoint vote or an
+        outbound (dst, message) pair) — counted, nothing to NACK."""
+        self.flow.shed_messages += 1
+
+    def _on_inbox_shed(self, item) -> None:
+        """shed_oldest evicted an undispatched inbound message."""
+        self.system.network.dropped_messages += 1
+        if isinstance(item, ClientRequest):
+            key = (item.sender, item.request_id)
+            self.flow.shed_requests += 1
+            self.flow.shed_keys.append(key)
+            self._send_busy_nack(item, "shed")
+        else:
+            self.flow.shed_messages += 1
+
+    def _send_busy_nack(self, request: ClientRequest, reason: str) -> None:
+        """Tell the client its request was turned away (unsigned — a NACK
+        carries no result, only a congestion signal)."""
+        nack = BusyNack(
+            self.replica_id,
+            (request.request_id,),
+            reason,
+            retry_after_ns=self.config.client_retransmit or 0,
+        )
+        if isinstance(self.engine, InstanceCoordinator):
+            # name the busy lane so RCC clients can steer away from it
+            nack.instance = self.engine.steer_instance(
+                request.sender, request.request_id
+            )
+        self.flow.nacks_sent += 1
+        self.flow.nacked_keys.add((request.sender, request.request_id))
+        self._enqueue_output(request.sender, nack)
 
     # ==================================================================
     # batch threads (§4.2–§4.3)
@@ -335,6 +487,7 @@ class Replica:
                 )
                 if not ok:
                     self.invalid_messages += 1
+                    self.admission.release_client(request.sender)
                     continue
             valid_requests.append(request)
         if not valid_requests:
@@ -392,6 +545,12 @@ class Replica:
             proposal, actions = self.engine.make_order_request(batch.digest, batch)
         else:
             proposal, actions = self.engine.make_propose(batch.digest, batch)
+        # the batch now owns a sequence number: these requests are past
+        # the point where overload shedding may touch them.  (An RCC
+        # proposal's sequence is already the global round-robin slot.)
+        for request in valid_requests:
+            self._sequenced_keys.add((request.sender, request.request_id))
+        self.admission.on_propose(proposal.sequence)
         spans = self.system.spans
         if spans.enabled:
             now = self.sim.now
@@ -600,7 +759,11 @@ class Replica:
 
     def _enqueue_output(self, dst: str, message) -> None:
         index = zlib.crc32(dst.encode("utf-8")) % len(self.output_queues)
-        self.output_queues[index].put_nowait((dst, message))
+        queue = self.output_queues[index]
+        if queue.capacity is None:
+            queue.put_nowait((dst, message))
+        elif not queue.offer((dst, message)):
+            self.flow.shed_messages += 1
 
     # ==================================================================
     # multi-primary (RCC) lane balancing
@@ -678,6 +841,11 @@ class Replica:
                 self.sim.now, self.replica_id, "view-change",
                 f"entered view {view}",
             )
+        # requests admitted by the old primary are re-proposed or
+        # retransmitted under the new view; dropping the stale per-client
+        # counts keeps the admission budget from leaking across views
+        if not self.is_primary:
+            self.admission.clear_backlog()
         # a fresh primary must sequence above everything it has seen
         if isinstance(self.engine, PbftReplica):
             high = max(
@@ -725,6 +893,9 @@ class Replica:
         costs = config.work_costs
         storage = config.storage_costs
         batch: RequestBatch = action.request
+        # execution is in order, so this releases every consensus
+        # instance at or below the sequence from the admission budget
+        self.admission.on_execute(action.sequence)
 
         # phase 1: charge all CPU up front.  The per-op storage cost comes
         # from the cost table regardless of backend, so the charge can be
@@ -834,6 +1005,9 @@ class Replica:
         by_group: Dict[str, List[int]] = {}
         for request in batch.requests:
             by_group.setdefault(request.sender, []).append(request.request_id)
+            # answered requests leave the per-client admission budget
+            # (no-op on backups, which never admitted them)
+            self.admission.release_client(request.sender)
         speculative = action.speculative
         for group, request_ids in by_group.items():
             if speculative:
@@ -1082,6 +1256,8 @@ class Replica:
         # stable checkpoint bounds how far back a retransmission can reach
         if len(self._seen_requests) > 4 * self.config.num_clients:
             self._seen_requests.clear()
+        if len(self._sequenced_keys) > 4 * self.config.num_clients:
+            self._sequenced_keys.clear()
 
     # ==================================================================
     # output threads (§4.1)

@@ -60,6 +60,11 @@ class ExperimentResult:
     #: pipeline stage -> {count, mean_s, p50_s, p99_s}; populated when
     #: ``config.lifecycle_spans`` is on (see :mod:`repro.obs.spans`)
     stage_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    # -- overload protection (repro.flow) ------------------------------
+    busy_nacks_sent: int = 0
+    busy_nacks_received: int = 0
+    requests_shed: int = 0
+    admission_rejected: int = 0
 
     def cumulative_saturation(self, where: str = "primary") -> float:
         """Sum of stage saturations (the paper's 'Cumulative Saturation'
@@ -195,6 +200,18 @@ class ResilientDBSystem:
         ) % self.config.num_primaries
         return self.replica_ids[lane]
 
+    def lane_primaries(self) -> Tuple[str, ...]:
+        """The current primary of every consensus lane — the replicas a
+        client may contact.  Clients honouring per-lane Busy signals
+        rotate across these instead of hammering one busy lane."""
+        if self.config.protocol != "rcc":
+            return (self.contact_replica(),)
+        coordinator = self.replicas[self.replica_ids[0]].engine
+        return tuple(
+            coordinator.lane_primary(lane)
+            for lane in range(self.config.num_primaries)
+        )
+
     # ------------------------------------------------------------------
     # fault injection
     # ------------------------------------------------------------------
@@ -327,6 +344,20 @@ class ResilientDBSystem:
                 replica.invalid_messages for replica in self.replicas.values()
             ),
             stage_latency=self.spans.stage_table(),
+            busy_nacks_sent=sum(
+                replica.flow.nacks_sent for replica in self.replicas.values()
+            ),
+            busy_nacks_received=sum(
+                group.busy_nacks_received for group in self.client_groups
+            ),
+            requests_shed=sum(
+                replica.flow.shed_requests for replica in self.replicas.values()
+            ),
+            admission_rejected=sum(
+                replica.admission.rejected_inflight
+                + replica.admission.rejected_per_client
+                for replica in self.replicas.values()
+            ),
         )
 
     # ------------------------------------------------------------------

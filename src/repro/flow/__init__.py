@@ -1,0 +1,32 @@
+"""Overload protection: admission control, AIMD windows, backoff.
+
+The paper's pipeline (§4) saturates at the primary's batch-threads and the
+single execute-thread; past that point an unprotected deployment grows its
+queues without bound while client retransmissions compound the collapse.
+This package supplies the flow-control pieces threaded through the stack:
+
+- :class:`AdmissionController` — caps in-flight consensus instances and
+  per-client pending requests at the primary; excess requests are NACKed
+  with a ``busy-nack`` message instead of queued.
+- :class:`AIMDWindow` — the client-side pending window, grown additively
+  on successful replies and shrunk multiplicatively on congestion signals
+  (NACKs), TCP-style.
+- :class:`RetransmitBackoff` — exponential retransmission backoff with
+  deterministic jitter, replacing the fixed-interval retransmit storm.
+- :class:`FlowStats` — per-replica shed/NACK accounting.
+- :func:`check_flow_invariants` — post-run checks that overload shedding
+  never violated the protocol contract (no sequence-assigned request is
+  shed; every shed request was NACKed or completed anyway).
+"""
+
+from repro.flow.admission import AdmissionController, FlowStats
+from repro.flow.aimd import AIMDWindow, RetransmitBackoff
+from repro.flow.invariants import check_flow_invariants
+
+__all__ = [
+    "AIMDWindow",
+    "AdmissionController",
+    "FlowStats",
+    "RetransmitBackoff",
+    "check_flow_invariants",
+]

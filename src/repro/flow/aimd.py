@@ -1,0 +1,131 @@
+"""Client-side congestion control: AIMD window + backoff schedule.
+
+Both classes are plain arithmetic over simulated time — no simulator
+coupling — so they unit-test directly and the client manager drives them
+from its reply/NACK handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class AIMDWindow:
+    """Additive-increase / multiplicative-decrease pending-request window.
+
+    The window bounds how many requests a client group keeps in flight.
+    One full window of successful replies grows it by ``additive``; a
+    congestion signal (Busy NACK) multiplies it by ``decrease``.  The
+    ``cooldown`` guard collapses a burst of NACKs — one per in-flight
+    request is typical when a primary sheds — into a single decrease, the
+    standard once-per-RTT rule.
+    """
+
+    __slots__ = (
+        "size",
+        "min_size",
+        "max_size",
+        "additive",
+        "decrease",
+        "cooldown",
+        "_credit",
+        "_last_decrease",
+        "increases",
+        "decreases",
+    )
+
+    def __init__(
+        self,
+        initial: int,
+        min_size: int = 1,
+        max_size: Optional[int] = None,
+        additive: int = 1,
+        decrease: float = 0.5,
+        cooldown: int = 0,
+    ):
+        if initial < 1:
+            raise ValueError(f"initial window must be >= 1, got {initial}")
+        if min_size < 1:
+            raise ValueError(f"min window must be >= 1, got {min_size}")
+        if max_size is not None and max_size < min_size:
+            raise ValueError(f"max window {max_size} < min window {min_size}")
+        if not 0.0 < decrease < 1.0:
+            raise ValueError(f"decrease factor must be in (0, 1), got {decrease}")
+        if additive < 1:
+            raise ValueError(f"additive step must be >= 1, got {additive}")
+        self.size = initial
+        self.min_size = min_size
+        self.max_size = max_size
+        self.additive = additive
+        self.decrease = decrease
+        self.cooldown = cooldown
+        self._credit = 0
+        self._last_decrease: Optional[int] = None
+        self.increases = 0
+        self.decreases = 0
+
+    def has_room(self, in_flight: int) -> bool:
+        return in_flight < self.size
+
+    def on_success(self) -> None:
+        """One completed request; a full window of them earns +additive."""
+        if self.max_size is not None and self.size >= self.max_size:
+            self._credit = 0
+            return
+        self._credit += 1
+        if self._credit >= self.size:
+            self._credit = 0
+            self.size += self.additive
+            if self.max_size is not None and self.size > self.max_size:
+                self.size = self.max_size
+            self.increases += 1
+
+    def on_congestion(self, now: int = 0) -> bool:
+        """Shrink multiplicatively; returns False inside the cooldown."""
+        if (
+            self._last_decrease is not None
+            and now - self._last_decrease < self.cooldown
+        ):
+            return False
+        self._last_decrease = now
+        self._credit = 0
+        self.size = max(self.min_size, int(self.size * self.decrease))
+        self.decreases += 1
+        return True
+
+
+class RetransmitBackoff:
+    """Exponential retransmission backoff with deterministic jitter.
+
+    ``delay(attempt)`` = ``min(base * factor**attempt, cap)`` plus a
+    jitter fraction drawn from the supplied deterministic RNG — spreading
+    retries so a NACKed burst does not re-arrive as a synchronised wave.
+    """
+
+    __slots__ = ("base", "factor", "cap", "jitter", "rng")
+
+    def __init__(
+        self,
+        base: int,
+        factor: float = 2.0,
+        cap: Optional[int] = None,
+        jitter: float = 0.1,
+        rng=None,
+    ):
+        if base < 1:
+            raise ValueError(f"backoff base must be >= 1 tick, got {base}")
+        if factor < 1.0:
+            raise ValueError(f"backoff factor must be >= 1.0, got {factor}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter fraction must be in [0, 1], got {jitter}")
+        self.base = base
+        self.factor = factor
+        self.cap = cap if cap is not None else base * 16
+        self.jitter = jitter
+        self.rng = rng
+
+    def delay(self, attempt: int = 0) -> int:
+        delay = min(self.base * self.factor ** max(0, attempt), self.cap)
+        if self.jitter and self.rng is not None:
+            delay += delay * self.jitter * self.rng.random()
+        return max(1, int(delay))

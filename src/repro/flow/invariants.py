@@ -1,0 +1,51 @@
+"""Post-run flow-control invariants.
+
+Overload protection is only safe if shedding never touches a request the
+protocol has already committed to ordering, and if no client is left in
+the dark about a shed request.  :func:`check_flow_invariants` verifies
+both against a finished system; the fuzz oracle bank calls it for every
+overload scenario.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def check_flow_invariants(system) -> List[str]:
+    """Return human-readable violations (empty list = all invariants hold).
+
+    1. *No shed after sequencing*: a request that reached a proposal (was
+       assigned a sequence number) must never be evicted from a queue.
+       Replicas tripwire this at shed time into ``flow.shed_sequenced``.
+    2. *No silent sheds*: every request key a replica shed must have been
+       sent a busy-nack, or have completed anyway (another replica, or a
+       retransmission, carried it through).
+    """
+    problems: List[str] = []
+    completed_by_group = {}
+    for group in system.client_groups:
+        done = {record[0] for record in group.completion_log}
+        # without completion records, fall back to "issued and no longer
+        # pending" — conservative, since pending requests are not done
+        done |= set(range(group.next_request_id)) - set(group.pending)
+        completed_by_group[group.name] = done
+
+    for replica_id, replica in system.replicas.items():
+        flow = getattr(replica, "flow", None)
+        if flow is None:
+            continue
+        for key in flow.shed_sequenced:
+            problems.append(
+                f"{replica_id} shed request {key} after sequence assignment"
+            )
+        for key in flow.shed_keys:
+            if key in flow.nacked_keys:
+                continue
+            group_name, request_id = key
+            if request_id in completed_by_group.get(group_name, ()):
+                continue
+            problems.append(
+                f"{replica_id} shed request {key} with no NACK and no reply"
+            )
+    return problems

@@ -16,7 +16,7 @@ CLI: ``python -m repro fuzz --runs 50 --seed 0 --shrink``; see
 """
 
 from repro.fuzz.corpus import load_scenario, save_artifact
-from repro.fuzz.generator import generate_scenario
+from repro.fuzz.generator import generate_overload_scenario, generate_scenario
 from repro.fuzz.oracles import Violation, check_client_replies, run_oracle_bank
 from repro.fuzz.runner import (
     BUG_REGISTRY,
@@ -40,6 +40,7 @@ __all__ = [
     "apply_events",
     "check_client_replies",
     "fuzz_campaign",
+    "generate_overload_scenario",
     "generate_scenario",
     "load_scenario",
     "run_oracle_bank",

@@ -43,6 +43,30 @@ def _round(value: float) -> float:
     return round(value, 3)
 
 
+def _overload_knobs(rng: DeterministicRNG, batch_size: int) -> dict:
+    """Draw one overload-protection configuration.
+
+    Lossy policies are only ever applied where the protocol tolerates
+    loss: the batch queue (client requests, recovered by NACK + client
+    retransmission) and admission control.  Protocol queues (work,
+    checkpoint, output, inbox) stay unbounded — shedding quorum votes
+    would manufacture liveness failures the oracles would then blame on
+    the protection machinery.
+    """
+    policy = rng.choice(("reject", "reject", "shed_oldest", "block"))
+    knobs = {
+        "queue_policy": policy,
+        "batch_queue_capacity": rng.choice((2, 4, 8)) * max(batch_size, 2),
+        "admission_max_inflight": rng.choice((4, 8, 16, None)),
+        "admission_max_per_client": rng.choice((2, 4, None)),
+        # always give clients a retransmit base so shed requests are
+        # recovered inside the fuzz window
+        "client_retransmit_ms": rng.choice((3.0, 5.0, 8.0)),
+        "client_window_initial": rng.choice((1, 2, 4, None)),
+    }
+    return knobs
+
+
 def generate_scenario(master_seed: int, index: int) -> Scenario:
     """Deterministically draw scenario ``index`` of campaign ``master_seed``."""
     rng = DeterministicRNG(master_seed).fork(f"scenario-{index}")
@@ -162,6 +186,17 @@ def generate_scenario(master_seed: int, index: int) -> Scenario:
             )
         )
 
+    ops_per_txn = rng.choice((1, 1, 1, 2))
+    checkpoint_txns = rng.choice(_CHECKPOINT_TXNS)
+    zyzzyva_timeout_ms = _round(rng.uniform(5.0, 12.0))
+
+    # -- overload protection (ISSUE 5): a slice of the mixed campaign ----
+    # runs with bounded queues + admission + client backoff, so the flow
+    # invariants are fuzzed against crashes/byzantine/link faults too
+    overload: dict = {}
+    if rng.random() < 0.18:
+        overload = _overload_knobs(rng, batch_size)
+
     return Scenario(
         seed=master_seed * 1_000_003 + index,
         protocol=protocol,
@@ -171,11 +206,76 @@ def generate_scenario(master_seed: int, index: int) -> Scenario:
         num_clients=num_clients,
         client_groups=client_groups,
         batch_size=batch_size,
-        ops_per_txn=rng.choice((1, 1, 1, 2)),
-        checkpoint_txns=rng.choice(_CHECKPOINT_TXNS),
+        ops_per_txn=ops_per_txn,
+        checkpoint_txns=checkpoint_txns,
         warmup_ms=warmup_ms,
         measure_ms=measure_ms,
-        zyzzyva_timeout_ms=_round(rng.uniform(5.0, 12.0)),
+        zyzzyva_timeout_ms=zyzzyva_timeout_ms,
         events=tuple(events),
         label=f"run-{index}",
+        **overload,
+    )
+
+
+def generate_overload_scenario(master_seed: int, index: int) -> Scenario:
+    """Deterministically draw an *overload-focused* scenario: a small
+    cluster driven well past capacity with protection always on.
+
+    Compared to :func:`generate_scenario` this pins the deployment shape
+    (n=4, heavy client load, small batches) and always applies
+    :func:`_overload_knobs`, so a campaign of these concentrates on the
+    flow-control machinery: shed/NACK bookkeeping, AIMD windows,
+    retransmission backoff and the never-shed-a-sequenced-request
+    invariant — with occasional crash faults layered on top.
+    """
+    rng = DeterministicRNG(master_seed).fork(f"overload-{index}")
+
+    protocol = rng.choice(("pbft", "pbft", "rcc", "poe", "zyzzyva"))
+    num_replicas = 4
+    num_clients = rng.choice((48, 64, 96))
+    client_groups = rng.choice((2, 4))
+    batch_size = rng.choice((4, 8))
+    num_primaries = 1
+    view_change_timeout_ms = None
+    if protocol == "rcc":
+        num_primaries = rng.choice((2, 3))
+        view_change_timeout_ms = _round(rng.uniform(8.0, 15.0))
+    warmup_ms = 25.0
+    measure_ms = _round(rng.uniform(35.0, 45.0))
+
+    events: List[FaultEvent] = []
+    # a minority of runs also crash one backup: overload plus a real
+    # fault is where release/backlog accounting is easiest to get wrong
+    if rng.random() < 0.25:
+        victim = f"r{rng.randint(num_primaries, num_replicas - 1)}"
+        events.append(
+            FaultEvent(
+                kind="crash",
+                at_ms=_round(rng.uniform(warmup_ms, warmup_ms + measure_ms * 0.5)),
+                target=victim,
+            )
+        )
+
+    ops_per_txn = 1
+    checkpoint_txns = rng.choice((48, 96))
+    zyzzyva_timeout_ms = _round(rng.uniform(5.0, 12.0))
+    overload = _overload_knobs(rng, batch_size)
+
+    return Scenario(
+        seed=master_seed * 1_000_003 + index,
+        protocol=protocol,
+        num_primaries=num_primaries,
+        view_change_timeout_ms=view_change_timeout_ms,
+        num_replicas=num_replicas,
+        num_clients=num_clients,
+        client_groups=client_groups,
+        batch_size=batch_size,
+        ops_per_txn=ops_per_txn,
+        checkpoint_txns=checkpoint_txns,
+        warmup_ms=warmup_ms,
+        measure_ms=measure_ms,
+        zyzzyva_timeout_ms=zyzzyva_timeout_ms,
+        events=tuple(events),
+        label=f"overload-{index}",
+        **overload,
     )

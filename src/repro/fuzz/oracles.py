@@ -29,6 +29,12 @@ and reports every violation, not just the first:
   which operate on timescales beyond the fuzz window; under rcc that
   applies to each of the r0..r{m-1} lane primaries), and no messages were
   irrecoverably dropped (``Scenario.has_link_faults``).
+- ``overload-protection`` — the flow-control bookkeeping is sound
+  (:func:`repro.flow.invariants.check_flow_invariants`): no replica ever
+  shed a request it had already assigned a sequence number (shedding is
+  only legal pre-ordering), and every shed client request was either
+  busy-NACKed or eventually completed via a retry — overload protection
+  may slow clients down but never silently loses their requests.
 - ``rcc-unification`` (protocol "rcc" only) — every honest replica's
   executed log is exactly the deterministic round-robin unification of
   its per-instance commit logs
@@ -52,6 +58,7 @@ from repro.consensus.safety import (
     check_bounded_liveness,
     check_checkpoint_consistency,
 )
+from repro.flow.invariants import check_flow_invariants
 from repro.fuzz.scenario import PRIMARY_POLICIES
 from repro.storage.blockchain import ChainViolation
 
@@ -185,6 +192,14 @@ def run_oracle_bank(
         violations.extend(
             _check_rcc_unification(system, scenario, byzantine | ever_crashed)
         )
+
+    # -- overload protection: shed/NACK bookkeeping stays sound -----------
+    # applies unconditionally: with protection off the counters are all
+    # zero and the check is vacuous; with it on, a sequence-assigned
+    # request must never be shed and every shed request must have been
+    # NACKed or (after a retry) completed
+    for problem in check_flow_invariants(system):
+        violations.append(Violation("overload-protection", problem))
 
     # -- bounded liveness (only while the BFT contract holds) ------------
     if committed_snapshot is not None and _liveness_applicable(scenario):

@@ -123,7 +123,9 @@ def apply_events(system: ResilientDBSystem, scenario: Scenario) -> None:
                 at_ns, faults.drop_link, event.src, event.dst, event.probability
             )
             if until_ns is not None:
-                sim.schedule(until_ns, faults.heal_link, event.src, event.dst)
+                # declarative heal: no scheduled callback, the fault plan
+                # just stops dropping once ``now`` passes the deadline
+                faults.heal_link_at(event.src, event.dst, until_ns)
         elif event.kind == "partition":
             rest = tuple(
                 rid for rid in system.replica_ids if rid not in event.group

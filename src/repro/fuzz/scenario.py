@@ -111,6 +111,15 @@ class Scenario:
     quiesce_ms: float = 35.0
     zyzzyva_timeout_ms: float = 8.0
     faults_tolerated: Optional[int] = None
+    #: overload-protection knobs (ISSUE 5); defaults reproduce the
+    #: unprotected pre-flow-control behaviour, so old corpus artifacts
+    #: deserialise and replay unchanged
+    queue_policy: str = "block"
+    batch_queue_capacity: Optional[int] = None
+    admission_max_inflight: Optional[int] = None
+    admission_max_per_client: Optional[int] = None
+    client_retransmit_ms: Optional[float] = None
+    client_window_initial: Optional[int] = None
     bug: Optional[str] = None
     events: Tuple[FaultEvent, ...] = ()
     label: str = ""
@@ -150,6 +159,20 @@ class Scenario:
         return tuple(f"r{i}" for i in range(count))
 
     @property
+    def has_overload_knobs(self) -> bool:
+        """True when any overload-protection knob deviates from the
+        unprotected default (used only for scenario descriptions; the
+        flow-invariant oracle applies unconditionally)."""
+        return (
+            self.queue_policy != "block"
+            or self.batch_queue_capacity is not None
+            or self.admission_max_inflight is not None
+            or self.admission_max_per_client is not None
+            or self.client_retransmit_ms is not None
+            or self.client_window_initial is not None
+        )
+
+    @property
     def has_link_faults(self) -> bool:
         """Drops and partitions lose messages that nothing retransmits, so
         the bounded-liveness oracle does not apply (safety always does)."""
@@ -160,7 +183,14 @@ class Scenario:
         overrides = {}
         if self.view_change_timeout_ms is not None:
             overrides["view_change_timeout"] = millis(self.view_change_timeout_ms)
+        if self.client_retransmit_ms is not None:
+            overrides["client_retransmit"] = millis(self.client_retransmit_ms)
         return SystemConfig(
+            queue_policy=self.queue_policy,
+            batch_queue_capacity=self.batch_queue_capacity,
+            admission_max_inflight=self.admission_max_inflight,
+            admission_max_per_client=self.admission_max_per_client,
+            client_window_initial=self.client_window_initial,
             protocol=self.protocol,
             num_primaries=self.num_primaries,
             num_replicas=self.num_replicas,
@@ -215,6 +245,13 @@ class Scenario:
             f"clients={self.num_clients} batch={self.batch_size} "
             f"ckpt={self.checkpoint_txns} seed={self.seed}"
         )
+        if self.has_overload_knobs:
+            knobs += (
+                f" flow[policy={self.queue_policy}"
+                f" batch-cap={self.batch_queue_capacity}"
+                f" inflight={self.admission_max_inflight}"
+                f" per-client={self.admission_max_per_client}]"
+            )
         if not self.events:
             return f"{knobs} (fault-free)"
         return f"{knobs} events=[{'; '.join(e.describe() for e in self.events)}]"

@@ -25,6 +25,7 @@ import struct
 from typing import List, Tuple
 
 from repro.consensus.messages import (
+    BusyNack,
     Checkpoint,
     ClientRequest,
     ClientResponse,
@@ -46,6 +47,7 @@ _KIND_TAGS = {
     "commit": 4,
     "client-response": 5,
     "checkpoint": 6,
+    "busy-nack": 7,
 }
 _TAG_KINDS = {tag: kind for kind, tag in _KIND_TAGS.items()}
 
@@ -152,6 +154,12 @@ def _encode_body(message: Message) -> List[bytes]:
         _put_str(out, message.state_digest)
         _put_u64(out, message.blocks_included)
         out.append(b"\x00" * (message.blocks_included * message.block_bytes))
+    elif kind == "busy-nack":
+        _put_str(out, message.reason)
+        _put_u64(out, message.retry_after_ns)
+        out.append(struct.pack("<H", len(message.request_ids)))
+        for request_id in message.request_ids:
+            _put_u64(out, request_id)
     else:
         raise CodecError(f"no codec for message kind {kind!r}")
     return out
@@ -240,6 +248,16 @@ def _decode_body(kind: str, sender: str, view, offset: int) -> Message:
         return ClientResponse(
             sender, tuple(request_ids), view_number, sequence, result_digest
         )
+    if kind == "busy-nack":
+        reason, offset = _get_str(view, offset)
+        retry_after, offset = _get_u64(view, offset)
+        (id_count,) = struct.unpack_from("<H", view, offset)
+        offset += 2
+        request_ids = []
+        for _ in range(id_count):
+            request_id, offset = _get_u64(view, offset)
+            request_ids.append(request_id)
+        return BusyNack(sender, tuple(request_ids), reason, retry_after)
     # checkpoint
     sequence, offset = _get_u64(view, offset)
     state_digest, offset = _get_str(view, offset)

@@ -20,7 +20,9 @@ class FaultPlan:
     def __init__(self, rng: Optional[DeterministicRNG] = None):
         self._crashed: Set[str] = set()
         self._crash_at: Dict[str, int] = {}
+        self._recover_at: Dict[str, int] = {}
         self._drop_probability: Dict[Tuple[str, str], float] = {}
+        self._drop_until: Dict[Tuple[str, str], int] = {}
         self._partitions: Set[frozenset] = set()
         self._rng = rng or DeterministicRNG(0)
 
@@ -38,8 +40,19 @@ class FaultPlan:
     def recover(self, node: str) -> None:
         self._crashed.discard(node)
         self._crash_at.pop(node, None)
+        self._recover_at.pop(node, None)
+
+    def recover_at(self, node: str, when_ns: int) -> None:
+        """Declare the crash heals (at the delivery level) from
+        ``when_ns`` on — crash-for-a-duration without runner bookkeeping.
+        State-transfer recovery remains a host decision
+        (:meth:`repro.core.system.ResilientDBSystem.recover_replica`)."""
+        self._recover_at[node] = when_ns
 
     def is_crashed(self, node: str, now: int) -> bool:
+        healed_at = self._recover_at.get(node)
+        if healed_at is not None and now >= healed_at:
+            return False
         if node in self._crashed:
             return True
         when = self._crash_at.get(node)
@@ -47,7 +60,11 @@ class FaultPlan:
 
     def crashed_nodes(self, now: int) -> Set[str]:
         late = {node for node, when in self._crash_at.items() if now >= when}
-        return self._crashed | late
+        return {
+            node
+            for node in (self._crashed | late)
+            if self.is_crashed(node, now)
+        }
 
     # ------------------------------------------------------------------
     # link faults
@@ -60,6 +77,12 @@ class FaultPlan:
 
     def heal_link(self, src: str, dst: str) -> None:
         self._drop_probability.pop((src, dst), None)
+        self._drop_until.pop((src, dst), None)
+
+    def heal_link_at(self, src: str, dst: str, when_ns: int) -> None:
+        """Declare a lossy link healthy again from ``when_ns`` on —
+        partition-for-a-duration without a scheduled callback."""
+        self._drop_until[(src, dst)] = when_ns
 
     def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> None:
         """Sever all links between the two groups (both directions)."""
@@ -79,6 +102,10 @@ class FaultPlan:
             if (src in side_a and dst in side_b) or (src in side_b and dst in side_a):
                 return False
         probability = self._drop_probability.get((src, dst), 0.0)
+        if probability:
+            until = self._drop_until.get((src, dst))
+            if until is not None and now >= until:
+                probability = 0.0  # declaratively healed; no rng draw
         if probability and self._rng.random() < probability:
             return False
         return True

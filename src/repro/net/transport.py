@@ -74,7 +74,17 @@ class Endpoint:
             if network.faults.is_crashed(self.name, sim.now):
                 network.dropped_messages += 1
                 continue
-            self.inbox.put_nowait(message)
+            inbox = self.inbox
+            if inbox.capacity is None:
+                inbox.put_nowait(message)
+            elif inbox.policy == "block":
+                # back-pressure onto the RX NIC: delivery stalls (and the
+                # RX queue grows) until the input threads catch up
+                yield inbox.put(message)
+            elif not inbox.offer(message):
+                # "reject" refused the newest arrival; shed_oldest drops
+                # are accounted by the inbox's on_shed callback instead
+                network.dropped_messages += 1
 
 
 class Network:

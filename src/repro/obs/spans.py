@@ -114,6 +114,15 @@ class SpanRecorder:
         if stage == "execute":
             del self._by_sequence[sequence]
 
+    def annotate(self, key: SpanKey, name: str, value) -> None:
+        """Attach a non-stage attribute to an open span (e.g. how many
+        busy-nacks the request absorbed before completing).  Attributes
+        are stored as ``attr.<name>`` entries, which the stage machinery
+        ignores; exporters surface them on the finished span."""
+        span = self._open.get(key)
+        if span is not None:
+            span[f"attr.{name}"] = value
+
     def finish(self, key: SpanKey, at: int) -> None:
         span = self._open.pop(key, None)
         if span is None:

@@ -7,6 +7,17 @@ request is consumed as soon as any batch-thread is available" (§4.3) —
 ``SimQueue`` supports exactly that: multiple consumers blocked in
 ``get()`` are served in FIFO order as items arrive.
 
+Bounded queues carry a back-pressure *policy* deciding what happens when a
+producer hits the capacity limit:
+
+- ``"block"`` — the producer parks until the consumer frees capacity
+  (``yield queue.put(item)``); pressure propagates upstream.
+- ``"shed_oldest"`` — the oldest queued item is evicted to make room
+  (drop-from-head, so the accepted item still joins FIFO order at the
+  tail); the ``on_shed`` callback lets the owner NACK or count the victim.
+- ``"reject"`` — the new item is refused (``offer`` returns False); the
+  producer decides what to tell the sender.
+
 Queues track occupancy statistics so experiments can report queueing delay
 (the dominant latency term in the client-scaling experiment, Fig. 15).
 """
@@ -15,7 +26,10 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Callable, Deque, Optional
+
+#: back-pressure policies a bounded queue can apply at capacity
+QUEUE_POLICIES = ("block", "shed_oldest", "reject")
 
 
 class _Getter:
@@ -62,21 +76,31 @@ class _QueueGet:
 
 
 class _QueuePut:
-    """Effect: wait until capacity is available, then enqueue."""
+    """Effect: enqueue under the queue's policy; resume with True if the
+    item was accepted, False if the ``reject`` policy refused it.  Only
+    the ``block`` policy ever parks the producer."""
 
-    __slots__ = ("queue", "item")
+    __slots__ = ("queue", "item", "priority")
 
-    def __init__(self, queue: "SimQueue", item: Any):
+    def __init__(self, queue: "SimQueue", item: Any, priority: Optional[int] = None):
         self.queue = queue
         self.item = item
+        self.priority = priority
 
     def _bind(self, sim, process) -> None:
         queue = self.queue
-        if queue.capacity is None or len(queue._items) < queue.capacity:
-            queue._enqueue(sim, self.item)
-            sim.schedule(0, process.resume, None)
+        if not queue._full_for(self.priority):
+            queue._enqueue_put(sim, self.item, self.priority)
+            sim.schedule(0, process.resume, True)
+        elif queue.policy == "shed_oldest":
+            queue._shed()
+            queue._enqueue_put(sim, self.item, self.priority)
+            sim.schedule(0, process.resume, True)
+        elif queue.policy == "reject":
+            queue.rejected_total += 1
+            sim.schedule(0, process.resume, False)
         else:
-            queue._putters.append((process, self.item))
+            queue._putters.append((process, self.item, self.priority))
 
 
 class SimQueue:
@@ -85,32 +109,59 @@ class SimQueue:
     - ``yield queue.get()`` blocks the process until an item arrives.
     - ``queue.put_nowait(item)`` enqueues immediately (unbounded queues, or
       producer code running outside a process, e.g. network delivery).
-    - ``yield queue.put(item)`` blocks when the queue is bounded and full,
-      providing back-pressure.
+    - ``yield queue.put(item)`` applies the policy from a process context:
+      ``block`` parks until capacity frees (back-pressure), the lossy
+      policies resolve immediately; resumes with accepted True/False.
+    - ``queue.offer(item)`` applies the policy without blocking (callers
+      outside process context): sheds or rejects at capacity, returns
+      whether the item was accepted.  Under ``block`` it behaves like
+      ``put_nowait`` (blocking is impossible outside a process).
     """
 
     __slots__ = (
         "sim",
         "name",
         "capacity",
+        "policy",
+        "on_shed",
         "_items",
         "_getters",
         "_putters",
         "enqueued_total",
         "dequeued_total",
+        "shed_total",
+        "rejected_total",
         "max_depth",
         "total_wait",
     )
 
-    def __init__(self, sim, name: str = "queue", capacity: Optional[int] = None):
+    def __init__(
+        self,
+        sim,
+        name: str = "queue",
+        capacity: Optional[int] = None,
+        policy: str = "block",
+        on_shed: Optional[Callable[[Any], None]] = None,
+    ):
+        if policy not in QUEUE_POLICIES:
+            raise ValueError(
+                f"unknown queue policy {policy!r}; expected one of {QUEUE_POLICIES}"
+            )
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.name = name
         self.capacity = capacity
+        self.policy = policy
+        #: called with each evicted item when ``shed_oldest`` fires
+        self.on_shed = on_shed
         self._items: Deque = deque()
         self._getters: Deque = deque()
         self._putters: Deque = deque()
         self.enqueued_total = 0
         self.dequeued_total = 0
+        self.shed_total = 0
+        self.rejected_total = 0
         self.max_depth = 0
         self.total_wait = 0
 
@@ -119,13 +170,48 @@ class SimQueue:
     # ------------------------------------------------------------------
     def put_nowait(self, item: Any) -> None:
         """Enqueue without blocking (raises if a bounded queue is full)."""
-        if self.capacity is not None and len(self._items) >= self.capacity:
+        if self._full_for(None):
             raise OverflowError(f"queue {self.name!r} full (capacity={self.capacity})")
         self._enqueue(self.sim, item)
 
+    def offer(self, item: Any) -> bool:
+        """Policy-aware non-blocking enqueue; True iff the item got in."""
+        if not self._full_for(None):
+            self._enqueue(self.sim, item)
+            return True
+        if self.policy == "shed_oldest":
+            self._shed()
+            self._enqueue(self.sim, item)
+            return True
+        if self.policy == "reject":
+            self.rejected_total += 1
+            return False
+        raise OverflowError(f"queue {self.name!r} full (capacity={self.capacity})")
+
     def put(self, item: Any) -> _QueuePut:
-        """Effect for blocking puts (back-pressure on bounded queues)."""
+        """Effect for process-context puts (back-pressure under ``block``)."""
         return _QueuePut(self, item)
+
+    def _full_for(self, priority: Optional[int]) -> bool:
+        """Whether the capacity bound applies to an arriving item."""
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def _enqueue_put(self, sim, item: Any, priority: Optional[int]) -> None:
+        """Admit an item from the put/offer path (priority-queue override
+        routes the priority through; the base FIFO ignores it)."""
+        self._enqueue(sim, item)
+
+    def _shed(self) -> Any:
+        """Evict the oldest (lowest-value) queued item to make room."""
+        victim = self._evict()
+        self.shed_total += 1
+        if self.on_shed is not None:
+            self.on_shed(victim)
+        return victim
+
+    def _evict(self) -> Any:
+        item, _enqueued_at = self._items.popleft()
+        return item
 
     def _enqueue(self, sim, item: Any) -> None:
         self.enqueued_total += 1
@@ -147,12 +233,10 @@ class SimQueue:
         return None
 
     def _wake_putters(self, sim) -> None:
-        while self._putters and (
-            self.capacity is None or len(self._items) < self.capacity
-        ):
-            process, item = self._putters.popleft()
-            self._enqueue(sim, item)
-            sim.schedule(0, process.resume, None)
+        while self._putters and not self._full_for(self._putters[0][2]):
+            process, item, priority = self._putters.popleft()
+            self._enqueue_put(sim, item, priority)
+            sim.schedule(0, process.resume, True)
 
     # ------------------------------------------------------------------
     # consumer side
@@ -196,6 +280,11 @@ class SimQueue:
         return sum(1 for getter in self._getters if getter.active)
 
     @property
+    def blocked_producers(self) -> int:
+        """Producers currently parked in ``put()`` (``block`` policy)."""
+        return len(self._putters)
+
+    @property
     def mean_wait(self) -> float:
         """Mean ticks an item spent queued before being consumed."""
         return self.total_wait / self.dequeued_total if self.dequeued_total else 0.0
@@ -206,6 +295,8 @@ class SimQueue:
             "depth": len(self._items),
             "enqueued": self.enqueued_total,
             "dequeued": self.dequeued_total,
+            "shed": self.shed_total,
+            "rejected": self.rejected_total,
             "max_depth": self.max_depth,
             "mean_wait": self.mean_wait,
         }
@@ -222,30 +313,90 @@ class SimPriorityQueue(SimQueue):
     client requests and votes: protocol messages must not drown behind a
     deep backlog of unverified client requests, or the replica never
     commits anything.
+
+    A capacity bound applies only to *low-priority* items (priority > 0 —
+    client requests in the 0B pipeline): protocol messages are always
+    admitted, because shedding a commit vote would break consensus
+    liveness while shedding a client request merely defers that client.
+    ``_shed`` correspondingly evicts the oldest item of the worst
+    (highest-number) priority class.
     """
 
-    __slots__ = ("_counter",)
+    __slots__ = ("_counter", "_low_count")
 
-    def __init__(self, sim, name: str = "pqueue", capacity: Optional[int] = None):
-        super().__init__(sim, name, capacity)
+    def __init__(
+        self,
+        sim,
+        name: str = "pqueue",
+        capacity: Optional[int] = None,
+        policy: str = "block",
+        on_shed: Optional[Callable[[Any], None]] = None,
+    ):
+        super().__init__(sim, name, capacity, policy, on_shed)
         self._items = []  # heap of (priority, tie, item, enqueued_at)
         self._counter = 0
+        self._low_count = 0
 
     def put_nowait(self, item: Any, priority: int = 0) -> None:
-        if self.capacity is not None and len(self._items) >= self.capacity:
+        if self._full_for(priority):
             raise OverflowError(f"queue {self.name!r} full (capacity={self.capacity})")
+        self._admit(item, priority)
+
+    def offer(self, item: Any, priority: int = 0) -> bool:
+        if not self._full_for(priority):
+            self._admit(item, priority)
+            return True
+        if self.policy == "shed_oldest":
+            self._shed()
+            self._admit(item, priority)
+            return True
+        if self.policy == "reject":
+            self.rejected_total += 1
+            return False
+        raise OverflowError(f"queue {self.name!r} full (capacity={self.capacity})")
+
+    def put(self, item: Any, priority: int = 0) -> _QueuePut:
+        return _QueuePut(self, item, priority)
+
+    def _full_for(self, priority: Optional[int]) -> bool:
+        if self.capacity is None:
+            return False
+        if not priority:  # protocol traffic is never bounded
+            return False
+        return self._low_count >= self.capacity
+
+    def _enqueue_put(self, sim, item: Any, priority: Optional[int]) -> None:
+        self._admit(item, priority or 0)
+
+    def _admit(self, item: Any, priority: int) -> None:
         self.enqueued_total += 1
         getter = self._pop_active_getter()
         if getter is not None:
             self._record_dequeue(0)
             self.sim.schedule(0, getter.process.resume, item)
             return
+        if priority > 0:
+            self._low_count += 1
         self._counter += 1
         heapq.heappush(self._items, (priority, self._counter, item, self.sim.now))
         if len(self._items) > self.max_depth:
             self.max_depth = len(self._items)
 
+    def _evict(self) -> Any:
+        worst = max(entry[0] for entry in self._items)
+        index = min(
+            (i for i, entry in enumerate(self._items) if entry[0] == worst),
+            key=lambda i: self._items[i][1],
+        )
+        priority, _tie, item, _enqueued_at = self._items.pop(index)
+        heapq.heapify(self._items)
+        if priority > 0:
+            self._low_count -= 1
+        return item
+
     def _take(self, sim) -> Any:
-        _priority, _tie, item, enqueued_at = heapq.heappop(self._items)
+        priority, _tie, item, enqueued_at = heapq.heappop(self._items)
+        if priority > 0:
+            self._low_count -= 1
         self._record_dequeue(sim.now - enqueued_at)
         return item

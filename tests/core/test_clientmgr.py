@@ -88,3 +88,94 @@ def test_group_workloads_are_independent_streams(small_config):
         keys_per_group.append(txn.ops[0].key)
     # different RNG forks -> almost surely different first keys
     assert keys_per_group[0] != keys_per_group[1]
+
+
+def test_retransmit_timers_cancelled_on_completion():
+    """A completed request's retransmit timer must never fire again —
+    cancellation is explicit, not just a no-op lookup on a popped id."""
+    config = SystemConfig(
+        num_replicas=4,
+        num_clients=8,
+        client_groups=2,
+        batch_size=4,
+        ycsb_records=100,
+        warmup=millis(10),
+        measure=millis(40),
+        client_retransmit=millis(2),
+    )
+    system = ResilientDBSystem(config)
+    stale_firings = []
+    for group in system.client_groups:
+        original = group._on_retransmit
+
+        def wrapper(request_id, request, _group=group, _original=original):
+            if request_id not in _group.pending:
+                stale_firings.append((_group.name, request_id))
+            else:
+                _original(request_id, request)
+
+        group._on_retransmit = wrapper
+    result = system.run()
+    assert result.completed_requests > 0
+    # with ~1ms completion latency, every 2ms timer belongs to an already
+    # answered request; cancellation means none of them ever fires
+    assert stale_firings == []
+
+
+def test_no_duplicate_completion_after_quorum():
+    """Force real retransmissions (timer below the round-trip) and check
+    a retransmitted request still completes exactly once, with replies
+    consistent with what replicas executed."""
+    config = SystemConfig(
+        num_replicas=4,
+        num_clients=64,
+        client_groups=2,
+        batch_size=8,
+        ycsb_records=200,
+        warmup=millis(10),
+        measure=millis(40),
+        client_retransmit=millis(1),
+        record_completions=True,
+    )
+    system = ResilientDBSystem(config)
+    retransmissions = []
+    for group in system.client_groups:
+        original = group._on_retransmit
+
+        def wrapper(request_id, request, _group=group, _original=original):
+            if request_id in _group.pending:
+                retransmissions.append(request_id)
+            _original(request_id, request)
+
+        group._on_retransmit = wrapper
+    result = system.run()
+    assert result.completed_requests > 0
+    # the tight timer genuinely retransmitted in-flight requests...
+    assert retransmissions
+    # ...yet no request completed twice, and replies match execution
+    for group in system.client_groups:
+        completed_ids = [record[0] for record in group.completion_log]
+        assert len(completed_ids) == len(set(completed_ids))
+    system.validate_safety()
+
+
+def test_aimd_window_limits_in_flight_requests():
+    config = SystemConfig(
+        num_replicas=4,
+        num_clients=32,
+        client_groups=2,
+        batch_size=4,
+        ycsb_records=100,
+        warmup=millis(10),
+        measure=millis(30),
+        client_window_initial=2,
+    )
+    system = ResilientDBSystem(config)
+    result = system.run()
+    assert result.completed_requests > 0
+    for group in system.client_groups:
+        # the window bounded concurrency below the logical-client count
+        assert len(group.pending) <= group.window.size
+        # healthy network, no congestion: additive increase opened it up
+        assert group.window.size > 2
+        assert group.window.decreases == 0

@@ -1,0 +1,1 @@
+"""Tests for the overload-protection primitives (repro.flow)."""

@@ -1,0 +1,141 @@
+"""Admission control and the post-run flow invariants."""
+
+from repro.flow import AdmissionController, FlowStats, check_flow_invariants
+
+
+# ----------------------------------------------------------------------
+# AdmissionController
+# ----------------------------------------------------------------------
+def test_unconfigured_controller_admits_everything():
+    admission = AdmissionController()
+    assert not admission.enabled
+    for _ in range(1_000):
+        assert admission.try_admit("client0") is None
+
+
+def test_inflight_cap_refuses_when_pipeline_full():
+    admission = AdmissionController(max_inflight=2)
+    assert admission.try_admit("c") is None
+    admission.on_propose(1)
+    admission.on_propose(2)
+    assert admission.inflight == 2
+    assert admission.try_admit("c") == "inflight"
+    assert admission.rejected_inflight == 1
+    # in-order execution prunes everything at or below the watermark
+    admission.on_execute(2)
+    assert admission.inflight == 0
+    assert admission.try_admit("c") is None
+
+
+def test_on_execute_prunes_abandoned_instances():
+    admission = AdmissionController(max_inflight=4)
+    # proposals 1..3 from an old view never executed individually; the
+    # new view executes sequence 5 and everything below is done
+    for sequence in (1, 2, 3, 5):
+        admission.on_propose(sequence)
+    admission.on_execute(5)
+    assert admission.inflight == 0
+
+
+def test_per_client_cap_is_independent_per_sender():
+    admission = AdmissionController(max_per_client=2)
+    assert admission.try_admit("a") is None
+    assert admission.try_admit("a") is None
+    assert admission.try_admit("a") == "client"
+    assert admission.rejected_per_client == 1
+    # another client group has its own budget
+    assert admission.try_admit("b") is None
+    # a reply releases one slot
+    admission.release_client("a")
+    assert admission.try_admit("a") is None
+
+
+def test_release_of_unknown_client_is_harmless():
+    admission = AdmissionController(max_per_client=1)
+    admission.release_client("ghost")
+    assert admission.try_admit("ghost") is None
+
+
+def test_clear_backlog_resets_per_client_counts():
+    admission = AdmissionController(max_per_client=1)
+    assert admission.try_admit("a") is None
+    assert admission.try_admit("a") == "client"
+    # losing primaryship: admitted requests will never be replied to by
+    # this replica, so their counts must not leak into the next reign
+    admission.clear_backlog()
+    assert admission.try_admit("a") is None
+
+
+# ----------------------------------------------------------------------
+# check_flow_invariants
+# ----------------------------------------------------------------------
+class _FakeGroup:
+    def __init__(self, name, completed_ids, next_request_id, pending=()):
+        self.name = name
+        self.completion_log = [(rid, 1, "digest") for rid in completed_ids]
+        self.next_request_id = next_request_id
+        self.pending = {rid: object() for rid in pending}
+
+
+class _FakeReplica:
+    def __init__(self, flow):
+        self.flow = flow
+
+
+class _FakeSystem:
+    def __init__(self, replicas, groups):
+        self.replicas = replicas
+        self.client_groups = groups
+
+
+def test_invariants_hold_when_every_shed_was_nacked():
+    flow = FlowStats()
+    flow.shed_keys.append(("client0", 7))
+    flow.nacked_keys.add(("client0", 7))
+    system = _FakeSystem(
+        {"r0": _FakeReplica(flow)}, [_FakeGroup("client0", [], 0)]
+    )
+    assert check_flow_invariants(system) == []
+
+
+def test_invariants_hold_when_shed_request_completed_anyway():
+    flow = FlowStats()
+    flow.shed_keys.append(("client0", 3))  # no NACK recorded...
+    system = _FakeSystem(
+        {"r0": _FakeReplica(flow)},
+        [_FakeGroup("client0", completed_ids=[3], next_request_id=5)],
+    )
+    # ...but the request completed (a retransmission carried it through)
+    assert check_flow_invariants(system) == []
+
+
+def test_silent_shed_is_reported():
+    flow = FlowStats()
+    flow.shed_keys.append(("client0", 9))
+    system = _FakeSystem(
+        {"r0": _FakeReplica(flow)},
+        [_FakeGroup("client0", [], next_request_id=10, pending=[9])],
+    )
+    problems = check_flow_invariants(system)
+    assert len(problems) == 1
+    assert "no NACK" in problems[0]
+
+
+def test_sequenced_shed_is_always_reported():
+    flow = FlowStats()
+    flow.shed_sequenced.append(("client0", 4))
+    flow.nacked_keys.add(("client0", 4))  # a NACK does not excuse it
+    system = _FakeSystem(
+        {"r0": _FakeReplica(flow)}, [_FakeGroup("client0", [4], 5)]
+    )
+    problems = check_flow_invariants(system)
+    assert len(problems) == 1
+    assert "sequence" in problems[0]
+
+
+def test_replicas_without_flow_state_are_skipped():
+    class _Bare:
+        pass
+
+    system = _FakeSystem({"r0": _Bare()}, [])
+    assert check_flow_invariants(system) == []

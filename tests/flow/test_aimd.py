@@ -1,0 +1,110 @@
+"""AIMD window and retransmission-backoff arithmetic."""
+
+import pytest
+
+from repro.flow import AIMDWindow, RetransmitBackoff
+from repro.sim.rng import DeterministicRNG
+
+
+# ----------------------------------------------------------------------
+# additive increase
+# ----------------------------------------------------------------------
+def test_window_grows_after_full_window_of_successes():
+    window = AIMDWindow(initial=4)
+    for _ in range(3):
+        window.on_success()
+    assert window.size == 4  # not a full window yet
+    window.on_success()
+    assert window.size == 5
+    assert window.increases == 1
+
+
+def test_window_growth_capped_at_max_size():
+    window = AIMDWindow(initial=3, max_size=4)
+    for _ in range(20):
+        window.on_success()
+    assert window.size == 4
+
+
+def test_has_room_compares_in_flight_to_size():
+    window = AIMDWindow(initial=2)
+    assert window.has_room(0)
+    assert window.has_room(1)
+    assert not window.has_room(2)
+
+
+# ----------------------------------------------------------------------
+# multiplicative decrease
+# ----------------------------------------------------------------------
+def test_congestion_halves_window_down_to_min():
+    window = AIMDWindow(initial=16, min_size=2, decrease=0.5)
+    assert window.on_congestion(now=0)
+    assert window.size == 8
+    assert window.on_congestion(now=100)
+    assert window.size == 4
+    for step in range(2, 10):
+        window.on_congestion(now=step * 100)
+    assert window.size == 2  # floor
+
+
+def test_cooldown_collapses_nack_burst_into_one_decrease():
+    window = AIMDWindow(initial=16, cooldown=50)
+    assert window.on_congestion(now=10) is True
+    # the rest of the burst lands inside the cooldown: ignored
+    assert window.on_congestion(now=11) is False
+    assert window.on_congestion(now=59) is False
+    assert window.size == 8
+    assert window.decreases == 1
+    # past the cooldown the next signal counts again
+    assert window.on_congestion(now=61) is True
+    assert window.size == 4
+
+
+def test_congestion_resets_increase_credit():
+    window = AIMDWindow(initial=4)
+    for _ in range(3):
+        window.on_success()
+    window.on_congestion(now=0)
+    # the partial window of successes before the NACK no longer counts
+    window.on_success()
+    assert window.size == 2
+
+
+def test_window_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        AIMDWindow(initial=0)
+    with pytest.raises(ValueError):
+        AIMDWindow(initial=4, decrease=1.0)
+    with pytest.raises(ValueError):
+        AIMDWindow(initial=4, max_size=2, min_size=3)
+
+
+# ----------------------------------------------------------------------
+# retransmission backoff
+# ----------------------------------------------------------------------
+def test_backoff_grows_exponentially_without_jitter():
+    backoff = RetransmitBackoff(base=100, factor=2.0, jitter=0.0)
+    assert backoff.delay(0) == 100
+    assert backoff.delay(1) == 200
+    assert backoff.delay(2) == 400
+
+
+def test_backoff_caps_at_max():
+    backoff = RetransmitBackoff(base=100, factor=2.0, cap=500, jitter=0.0)
+    assert backoff.delay(10) == 500
+
+
+def test_backoff_default_cap_is_sixteen_bases():
+    backoff = RetransmitBackoff(base=100, factor=2.0, jitter=0.0)
+    assert backoff.delay(30) == 1_600
+
+
+def test_backoff_jitter_is_deterministic_and_bounded():
+    a = RetransmitBackoff(base=1_000, jitter=0.1, rng=DeterministicRNG(7))
+    b = RetransmitBackoff(base=1_000, jitter=0.1, rng=DeterministicRNG(7))
+    delays_a = [a.delay(n) for n in range(5)]
+    delays_b = [b.delay(n) for n in range(5)]
+    assert delays_a == delays_b  # same seed, same schedule
+    for attempt, delay in enumerate(delays_a):
+        bare = min(1_000 * 2.0**attempt, 16_000)
+        assert bare <= delay <= bare * 1.1

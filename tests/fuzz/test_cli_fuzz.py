@@ -7,7 +7,7 @@ from tests.fuzz.test_runner_shrinker import BUG_SCENARIO
 def test_fuzz_campaign_smoke(capsys):
     assert main(["fuzz", "--runs", "2", "--seed", "0"]) == 0
     out = capsys.readouterr().out
-    assert "fuzz: 2 run(s), 0 failure(s) (seed 0, offset 0)" in out
+    assert "fuzz: 2 run(s), 0 failure(s) (seed 0, offset 0, profile mixed)" in out
     assert "run-0" in out and "run-1" in out
 
 

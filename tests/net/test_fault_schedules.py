@@ -1,0 +1,84 @@
+"""Declarative time-based fault healing: recover_at and heal_link_at."""
+
+from repro.net.faults import FaultPlan
+from repro.sim.rng import DeterministicRNG
+
+
+def test_recover_at_heals_scheduled_crash():
+    plan = FaultPlan()
+    plan.crash_at("r1", 100)
+    plan.recover_at("r1", 500)
+    assert not plan.is_crashed("r1", 50)
+    assert plan.is_crashed("r1", 100)
+    assert plan.is_crashed("r1", 499)
+    assert not plan.is_crashed("r1", 500)
+    assert not plan.is_crashed("r1", 10_000)
+
+
+def test_recover_at_heals_immediate_crash():
+    plan = FaultPlan()
+    plan.crash("r2")
+    plan.recover_at("r2", 300)
+    assert plan.is_crashed("r2", 299)
+    assert not plan.is_crashed("r2", 300)
+
+
+def test_crashed_nodes_excludes_healed():
+    plan = FaultPlan()
+    plan.crash("r1")
+    plan.crash_at("r2", 100)
+    plan.recover_at("r1", 200)
+    assert plan.crashed_nodes(150) == {"r1", "r2"}
+    assert plan.crashed_nodes(250) == {"r2"}
+
+
+def test_recover_clears_the_schedule_too():
+    plan = FaultPlan()
+    plan.crash("r1")
+    plan.recover_at("r1", 500)
+    plan.recover("r1")
+    plan.crash("r1")
+    # the old recover_at deadline must not resurrect this new crash
+    assert plan.is_crashed("r1", 600)
+
+
+def test_heal_link_at_stops_dropping_from_deadline():
+    plan = FaultPlan(rng=DeterministicRNG(1))
+    plan.drop_link("r0", "r1", probability=1.0)
+    plan.heal_link_at("r0", "r1", 1_000)
+    assert not plan.should_deliver("r0", "r1", 999)
+    assert plan.should_deliver("r0", "r1", 1_000)
+    assert plan.should_deliver("r0", "r1", 5_000)
+    # the reverse direction was never faulted
+    assert plan.should_deliver("r1", "r0", 0)
+
+
+def test_heal_link_clears_scheduled_heal():
+    plan = FaultPlan(rng=DeterministicRNG(1))
+    plan.drop_link("r0", "r1", probability=1.0)
+    plan.heal_link_at("r0", "r1", 1_000)
+    plan.heal_link("r0", "r1")
+    # a fresh fault on the same link is not affected by the stale deadline
+    plan.drop_link("r0", "r1", probability=1.0)
+    assert not plan.should_deliver("r0", "r1", 2_000)
+
+
+def test_healed_link_preserves_rng_draw_pattern():
+    """The heal zeroes the probability *before* any draw, so a healed
+    plan makes exactly the same rng draws as one with no deadline —
+    scenario determinism does not depend on heal timing."""
+    healed = FaultPlan(rng=DeterministicRNG(9))
+    plain = FaultPlan(rng=DeterministicRNG(9))
+    for plan in (healed, plain):
+        plan.drop_link("r0", "r1", probability=0.5)
+    healed.heal_link_at("r0", "r1", 50)
+    outcomes = []
+    for now in range(0, 100, 10):
+        healed_delivery = healed.should_deliver("r0", "r1", now)
+        outcomes.append((now, healed_delivery, plain.should_deliver("r0", "r1", now)))
+    # after the deadline the healed link always delivers
+    assert all(delivered for now, delivered, _ in outcomes if now >= 50)
+    # before it, both plans saw identical draws and agree exactly
+    for now, healed_delivery, plain_delivery in outcomes:
+        if now < 50:
+            assert healed_delivery == plain_delivery

@@ -165,6 +165,8 @@ def test_queue_stats_snapshot():
         "depth": 2,
         "enqueued": 3,
         "dequeued": 1,
+        "shed": 0,
+        "rejected": 0,
         "max_depth": 3,
         "mean_wait": 0,
     }
